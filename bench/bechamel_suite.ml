@@ -1,0 +1,81 @@
+(* Bechamel micro-suite: one Test.make per table/figure, timing the kernel
+   operation that dominates the corresponding experiment.  The experiment
+   harness (Experiments) reproduces the papers' rows; this suite gives
+   statistically robust per-kernel numbers. *)
+
+open Bechamel
+module Instance = Toolkit.Instance
+
+let kernels () =
+  (* Shared fixtures built once; every kernel below is re-entrant. *)
+  let task_a = Task.of_scenario (Gen.scenario_of_label "A") in
+  let task_b = Task.of_scenario (Gen.scenario_of_label "B") in
+  let sc_b = Gen.scenario_of_label "B" in
+  let dmag =
+    Task.of_scenario (Gen.build Gen.Dmag { (Gen.params_b ()) with Gen.mas = 12 })
+  in
+  let checker = Constraint.create task_b in
+  let probe_a = Kutil.Vec_key.zeros (Action.Set.cardinal task_b.Task.actions) in
+  let probe_b = Array.copy probe_a in
+  probe_b.(0) <- 1;
+  let flip = ref false in
+  [
+    Test.make ~name:"table1: scenario generation (B)"
+      (Staged.stage (fun () -> ignore (Gen.build Gen.Hgrid_v1_to_v2 (Gen.params_b ()))));
+    Test.make ~name:"table3: block organization (B)"
+      (Staged.stage (fun () -> ignore (Blocks.organize sc_b)));
+    Test.make ~name:"fig8: Klotski-A* plan (B)"
+      (Staged.stage (fun () -> ignore (Astar.plan task_b)));
+    Test.make ~name:"fig9: Klotski-A* plan (B-DMAG)"
+      (Staged.stage (fun () -> ignore (Astar.plan dmag)));
+    Test.make ~name:"fig10: A* w/o ESC (B)"
+      (Staged.stage (fun () ->
+           ignore
+             (Astar.plan ~dedup:false
+                ~config:{ Planner.default_config with Planner.use_cache = false }
+                task_b)));
+    Test.make ~name:"fig11: Klotski-A* at 2x blocks (A)"
+      (Staged.stage (fun () ->
+           ignore
+             (Astar.plan
+                (Task.of_scenario ~block_factor:2.0 (Gen.scenario_of_label "A")))));
+    Test.make ~name:"fig12: one satisfiability check (B)"
+      (Staged.stage (fun () ->
+           flip := not !flip;
+           ignore (Constraint.check checker (if !flip then probe_b else probe_a))));
+    Test.make ~name:"fig13: Klotski-A* at alpha=0.5 (A)"
+      (Staged.stage (fun () ->
+           ignore (Astar.plan (Task.with_params ~alpha:0.5 task_a))));
+  ]
+
+let run () =
+  Runner.heading "Bechamel micro-suite (per-kernel monotonic-clock estimates)";
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) ~kde:None
+      ~stabilize:false ()
+  in
+  let raw =
+    Benchmark.all cfg [ instance ]
+      (Test.make_grouped ~name:"klotski" (kernels ()))
+  in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| "run" |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let table = Kutil.Table_fmt.create ~headers:[ "Kernel"; "Time per run" ] in
+  List.iter
+    (fun (name, ols) ->
+      let time =
+        match Analyze.OLS.estimates ols with
+        | Some (ns :: _) ->
+            if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+            else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+            else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+            else Printf.sprintf "%.0f ns" ns
+        | Some [] | None -> "n/a"
+      in
+      Kutil.Table_fmt.add_row table [ name; time ])
+    (List.sort compare rows);
+  Kutil.Table_fmt.print table

@@ -1,0 +1,468 @@
+(* The experiment harness: one function per table and figure of the
+   paper's evaluation (§6).  Each prints the same rows/series the paper
+   reports; EXPERIMENTS.md records paper-vs-measured. *)
+
+module Table_fmt = Kutil.Table_fmt
+
+type opts = { budget : float; quick : bool }
+
+let default_opts = { budget = 300.0; quick = false }
+
+let cfg opts = Planner.with_budget (Some opts.budget)
+
+let labels opts = if opts.quick then [ "A"; "B"; "C" ] else [ "A"; "B"; "C"; "D"; "E" ]
+
+let big_label opts = if opts.quick then "C" else "E"
+
+(* Scenario/task construction is deterministic, so memoize within a run:
+   several figures share topology E. *)
+let scenario_cache : (string, Gen.scenario) Hashtbl.t = Hashtbl.create 8
+
+let scenario label =
+  match Hashtbl.find_opt scenario_cache label with
+  | Some sc -> sc
+  | None ->
+      let sc = Gen.scenario_of_label label in
+      Hashtbl.replace scenario_cache label sc;
+      sc
+
+let task_cache : (string, Task.t) Hashtbl.t = Hashtbl.create 8
+
+let task label =
+  match Hashtbl.find_opt task_cache label with
+  | Some t -> t
+  | None ->
+      let t = Task.of_scenario (scenario label) in
+      Hashtbl.replace task_cache label t;
+      t
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: migration statistics per DC *)
+
+let table1 opts =
+  Runner.heading "Table 1: migration statistics per DC";
+  Runner.note
+    "Switches/circuits/capacity touched by each migration type, per DC \
+     (region totals divided by the DC count); phases from the optimal plan.";
+  let t =
+    Table_fmt.create
+      ~headers:
+        [ "Migration"; "Switches"; "Circuits"; "Capacity (Tbps)"; "Phases";
+          "Duration" ]
+  in
+  let rows =
+    if opts.quick then begin
+      (* Downsized: the three migration kinds on the C parameters. *)
+      let p = { (Gen.params_c ()) with Gen.mas = 24 } in
+      [
+        ("HGRID", Gen.scenario_of_label "C");
+        ("SSW Forklift", Gen.build Gen.Ssw_forklift p);
+        ("DMAG", Gen.build Gen.Dmag p);
+      ]
+    end
+    else
+      [
+        ("HGRID", scenario "E");
+        ("SSW Forklift", scenario "E-SSW");
+        ("DMAG", scenario "E-DMAG");
+      ]
+  in
+  List.iter
+    (fun (name, sc) ->
+      let st = Gen.stats sc in
+      let dcs = sc.Gen.layout.Gen.params.Gen.dcs in
+      let touched_circuits =
+        (* Circuits incident to operated switches plus standalone groups. *)
+        let ops = Hashtbl.create 256 in
+        List.iter (fun s -> Hashtbl.replace ops s ())
+          (sc.Gen.drain_switches @ sc.Gen.undrain_switches);
+        let count = ref 0 in
+        Array.iter
+          (fun (c : Circuit.t) ->
+            if Hashtbl.mem ops c.Circuit.lo || Hashtbl.mem ops c.Circuit.hi then
+              incr count)
+          (Topo.circuits sc.Gen.topo);
+        List.iter
+          (fun (_, cs) -> count := !count + List.length cs)
+          sc.Gen.drain_circuit_groups;
+        !count
+      in
+      let row_task = Task.of_scenario sc in
+      let phases, duration =
+        match (Astar.plan ~config:(cfg opts) row_task).Planner.outcome with
+        | Planner.Found p ->
+            (* "Duration": simulate executing the plan with weekly
+               forecasts and a 10% per-step pipeline failure rate. *)
+            let prng = Kutil.Prng.create ~seed:7 in
+            let forecast =
+              Forecast.create ~weekly_growth:0.005 ~spike_probability:0.0
+                ~prng:(Kutil.Prng.split prng) ()
+            in
+            let sim = Simulate.run ~prng ~forecast row_task p in
+            ( string_of_int (List.length p.Plan.runs),
+              if sim.Simulate.completed then
+                Printf.sprintf "%d weeks" sim.Simulate.weeks
+              else "incomplete" )
+        | _ -> (Runner.cross, Runner.cross)
+      in
+      Table_fmt.add_row t
+        [
+          name;
+          string_of_int (st.Gen.actions / dcs) ^ "/DC";
+          string_of_int (touched_circuits / dcs) ^ "/DC";
+          Printf.sprintf "%.1f" (st.Gen.capacity_touched /. float_of_int dcs);
+          phases;
+          duration;
+        ])
+    rows;
+  Table_fmt.print ~align:Table_fmt.Right t
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: topology configurations *)
+
+let table3 opts =
+  Runner.heading "Table 3: configurations for each topology";
+  let t =
+    Table_fmt.create
+      ~headers:[ "Topology"; "Switches"; "Circuits"; "Actions"; "Blocks"; "Types" ]
+  in
+  let all = if opts.quick then [ "A"; "B"; "C" ] else Gen.all_labels in
+  List.iter
+    (fun label ->
+      let sc = scenario label in
+      let st = Gen.stats sc in
+      let blocks = Blocks.organize sc in
+      let types =
+        Action.Set.cardinal
+          (Action.Set.of_list (List.map (fun (b : Blocks.t) -> b.Blocks.action) blocks))
+      in
+      Table_fmt.add_row t
+        [
+          label;
+          string_of_int st.Gen.orig_switches;
+          string_of_int st.Gen.orig_circuits;
+          string_of_int st.Gen.actions;
+          string_of_int (List.length blocks);
+          string_of_int types;
+        ])
+    all;
+  Table_fmt.print ~align:Table_fmt.Right t
+
+(* ------------------------------------------------------------------ *)
+(* Figures 8 & 9: planner comparison over sizes and migration types *)
+
+let compare_planners opts ~title ~rows =
+  Runner.heading title;
+  let cost_t =
+    Table_fmt.create
+      ~headers:[ "Task"; "MRC"; "Janus"; "Klotski-DP"; "Klotski-A*" ]
+  in
+  let time_t =
+    Table_fmt.create
+      ~headers:[ "Task"; "MRC"; "Janus"; "Klotski-DP"; "Klotski-A*" ]
+  in
+  List.iter
+    (fun (label, task) ->
+      Printf.printf "  planning %s...\n%!" label;
+      let astar = Runner.run (Astar.plan ~config:(cfg opts) task) in
+      let dp = Runner.run (Dp.plan ~config:(cfg opts) task) in
+      let mrc = Runner.run (Mrc.plan ~config:(cfg opts) task) in
+      let janus = Runner.run (Janus.plan ~config:(cfg opts) task) in
+      let optimal = astar.Runner.cost in
+      let base = Float.max astar.Runner.time 1e-6 in
+      Table_fmt.add_row cost_t
+        [
+          label;
+          Runner.norm_cost mrc ~optimal;
+          Runner.norm_cost janus ~optimal;
+          Runner.norm_cost dp ~optimal;
+          Runner.norm_cost astar ~optimal;
+        ];
+      Table_fmt.add_row time_t
+        [
+          Printf.sprintf "%s (A*: %.2fs)" label astar.Runner.time;
+          Runner.norm_time mrc ~base;
+          Runner.norm_time janus ~base;
+          Runner.norm_time dp ~base;
+          Runner.norm_time astar ~base;
+        ])
+    rows;
+  Runner.note "(a) plan cost, normalized by the optimal cost:";
+  Table_fmt.print ~align:Table_fmt.Right cost_t;
+  Runner.note "(b) planning time, normalized by Klotski-A*:";
+  Table_fmt.print ~align:Table_fmt.Right time_t
+
+let fig8 opts =
+  compare_planners opts
+    ~title:"Figure 8: Klotski vs baselines under various topology sizes"
+    ~rows:(List.map (fun l -> (l, task l)) (labels opts))
+
+let fig9 opts =
+  let rows =
+    if opts.quick then begin
+      let p = { (Gen.params_c ()) with Gen.mas = 24 } in
+      [
+        ("C", task "C");
+        ("C-DMAG", Task.of_scenario (Gen.build Gen.Dmag p));
+        ("C-SSW", Task.of_scenario (Gen.build Gen.Ssw_forklift p));
+      ]
+    end
+    else
+      [ ("E", task "E"); ("E-DMAG", task "E-DMAG"); ("E-SSW", task "E-SSW") ]
+  in
+  compare_planners opts
+    ~title:"Figure 9: Klotski vs baselines under various migration types"
+    ~rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10: design-choice ablations *)
+
+let fig10 opts =
+  Runner.heading "Figure 10: impact of Klotski design choices";
+  let headers = [ "Task"; "w/o OB"; "w/o A*"; "w/o ESC"; "Klotski-A*" ] in
+  let cost_t = Table_fmt.create ~headers in
+  let time_t = Table_fmt.create ~headers in
+  (* The w/o-OB searches explode by design; keep their budget short. *)
+  let ob_budget = Float.min opts.budget 120.0 in
+  List.iter
+    (fun label ->
+      Printf.printf "  ablating %s...\n%!" label;
+      let sc = scenario label in
+      let t = task label in
+      let astar = Runner.run (Astar.plan ~config:(cfg opts) t) in
+      let no_astar =
+        Runner.run (Exhaustive.plan ~config:(cfg opts) ~bound:`Cost_only t)
+      in
+      let no_esc =
+        Runner.run
+          (Astar.plan ~dedup:false
+             ~config:{ (cfg opts) with Planner.use_cache = false }
+             t)
+      in
+      let no_ob =
+        let sym_task =
+          Task.of_scenario ~blocks:(Blocks.symmetry_granularity sc) sc
+        in
+        Runner.run
+          (Astar.plan ~config:(Planner.with_budget (Some ob_budget)) sym_task)
+      in
+      let optimal = astar.Runner.cost in
+      let base = Float.max astar.Runner.time 1e-6 in
+      Table_fmt.add_row cost_t
+        [
+          label;
+          (* w/o OB plans a finer action space: its absolute cost is not
+             normalized against the merged-block optimum. *)
+          Runner.raw_cost no_ob;
+          Runner.norm_cost no_astar ~optimal;
+          Runner.norm_cost no_esc ~optimal;
+          Runner.norm_cost astar ~optimal;
+        ];
+      Table_fmt.add_row time_t
+        [
+          Printf.sprintf "%s (A*: %.2fs)" label astar.Runner.time;
+          Runner.norm_time no_ob ~base;
+          Runner.norm_time no_astar ~base;
+          Runner.norm_time no_esc ~base;
+          Runner.norm_time astar ~base;
+        ])
+    (labels opts);
+  Runner.note "(a) plan cost (w/o OB reported absolute: its action space differs):";
+  Table_fmt.print ~align:Table_fmt.Right cost_t;
+  Runner.note "(b) planning time, normalized by Klotski-A*:";
+  Table_fmt.print ~align:Table_fmt.Right time_t
+
+(* ------------------------------------------------------------------ *)
+(* Figure 11: operation-block organization factor *)
+
+let fig11 opts =
+  Runner.heading "Figure 11: impact of operation blocks";
+  let sc = scenario (big_label opts) in
+  let t =
+    Table_fmt.create
+      ~headers:[ "# blocks"; "Blocks"; "Min cost"; "DP time (s)"; "A* time (s)" ]
+  in
+  List.iter
+    (fun factor ->
+      Printf.printf "  factor %.2fx...\n%!" factor;
+      let task = Task.of_scenario ~block_factor:factor sc in
+      let astar = Runner.run (Astar.plan ~config:(cfg opts) task) in
+      let dp = Runner.run (Dp.plan ~config:(cfg opts) task) in
+      Table_fmt.add_row t
+        [
+          Printf.sprintf "%.2fx" factor;
+          string_of_int (Task.total_blocks task);
+          Runner.raw_cost astar;
+          Runner.raw_time dp;
+          Runner.raw_time astar;
+        ])
+    [ 0.25; 0.5; 1.0; 2.0; 4.0 ];
+  Table_fmt.print ~align:Table_fmt.Right t
+
+(* ------------------------------------------------------------------ *)
+(* Figure 12: utilization-rate bound *)
+
+let fig12 opts =
+  Runner.heading "Figure 12: impact of utilization rate bound";
+  let base_task = task (big_label opts) in
+  let t =
+    Table_fmt.create
+      ~headers:[ "Theta (%)"; "Optimal cost"; "DP time (s)"; "A* time (s)" ]
+  in
+  List.iter
+    (fun theta ->
+      Printf.printf "  theta %.0f%%...\n%!" (100.0 *. theta);
+      let task = Task.with_params ~theta base_task in
+      let astar = Runner.run (Astar.plan ~config:(cfg opts) task) in
+      let dp = Runner.run (Dp.plan ~config:(cfg opts) task) in
+      Table_fmt.add_row t
+        [
+          Printf.sprintf "%.0f" (100.0 *. theta);
+          Runner.raw_cost astar;
+          Runner.raw_time dp;
+          Runner.raw_time astar;
+        ])
+    [ 0.55; 0.65; 0.75; 0.85; 0.95 ];
+  Table_fmt.print ~align:Table_fmt.Right t
+
+(* ------------------------------------------------------------------ *)
+(* Figure 13: generalized cost function *)
+
+let fig13 opts =
+  Runner.heading "Figure 13: impact of the cost function (alpha)";
+  let base_task = task (big_label opts) in
+  let t =
+    Table_fmt.create
+      ~headers:[ "Alpha"; "Optimal cost"; "DP time (s)"; "A* time (s)" ]
+  in
+  List.iter
+    (fun alpha ->
+      Printf.printf "  alpha %.1f...\n%!" alpha;
+      let task = Task.with_params ~alpha base_task in
+      let astar = Runner.run (Astar.plan ~config:(cfg opts) task) in
+      let dp = Runner.run (Dp.plan ~config:(cfg opts) task) in
+      Table_fmt.add_row t
+        [
+          Printf.sprintf "%.1f" alpha;
+          Runner.raw_cost astar;
+          Runner.raw_time dp;
+          Runner.raw_time astar;
+        ])
+    [ 0.0; 0.2; 0.4; 0.6; 0.8; 1.0 ];
+  Table_fmt.print ~align:Table_fmt.Right t
+
+(* ------------------------------------------------------------------ *)
+(* Extensions (§7 deployment machinery): not figures of the paper, but
+   experiments over the features its deployment section describes. *)
+
+let ext opts =
+  Runner.heading
+    "Extension experiments: §7 deployment machinery (topology B)";
+  (* (a) Temporary routing configurations (§7.1): degraded-capacity V2
+     circuits under plain vs capacity-weighted ECMP. *)
+  Runner.note "(a) mixed-generation routing (V2 circuits at 60% capacity):";
+  let p = Gen.params_b () in
+  let p = { p with Gen.cap_ssw_fadu_v2 = p.Gen.cap_ssw_fadu_v1 *. 0.6 } in
+  let sc = Gen.build Gen.Hgrid_v1_to_v2 p in
+  let t = Table_fmt.create ~headers:[ "Routing"; "Plan cost"; "Time (s)" ] in
+  List.iter
+    (fun (name, routing) ->
+      let task = Task.of_scenario ~theta:0.7 ~routing sc in
+      let cell = Runner.run (Astar.plan ~config:(cfg opts) task) in
+      Table_fmt.add_row t
+        [ name; Runner.raw_cost cell; Runner.raw_time cell ])
+    [ ("plain ECMP", `Ecmp); ("capacity-weighted", `Weighted) ];
+  Table_fmt.print ~align:Table_fmt.Right t;
+  (* (b) Space & power (§7.2): transient headroom sweep.  Ports are left
+     loose so the power budget is the only coexistence constraint. *)
+  Runner.note "(b) space & power: hall headroom sweep (theta = 0.95, loose ports):";
+  let sc_b =
+    Gen.build Gen.Hgrid_v1_to_v2
+      { (Gen.params_b ()) with Gen.ssw_port_headroom = 12 }
+  in
+  let t = Table_fmt.create ~headers:[ "Headroom"; "Plan cost"; "Time (s)" ] in
+  let v1_count =
+    List.length
+      (sc_b.Gen.drain_switches : int list)
+  in
+  let v2_count = List.length sc_b.Gen.undrain_switches in
+  (* The new generation's total draw is 1.3x the old one's: more capacity,
+     better efficiency per box. *)
+  let v2_draw = 1.3 *. float_of_int v1_count /. float_of_int v2_count in
+  List.iter
+    (fun headroom ->
+      let power = Power.hall_model ~v2_draw sc_b ~headroom in
+      let task = Task.of_scenario ~theta:0.95 ~power sc_b in
+      let cell = Runner.run (Astar.plan ~config:(cfg opts) task) in
+      Table_fmt.add_row t
+        [
+          Printf.sprintf "%.0f%%" (100.0 *. headroom);
+          Runner.raw_cost cell;
+          Runner.raw_time cell;
+        ])
+    [ 0.05; 0.1; 0.25; 0.5; 1.0 ];
+  Table_fmt.print ~align:Table_fmt.Right t;
+  (* (c) OPEX cost model (§7.2): draining the old generation gets costly. *)
+  Runner.note "(c) OPEX model: labor weight of V1 drains swept:";
+  let base = task "B" in
+  let n = Action.Set.cardinal base.Task.actions in
+  let t = Table_fmt.create ~headers:[ "Drain weight"; "Plan cost"; "Phases" ] in
+  List.iter
+    (fun w ->
+      let weights =
+        Array.init n (fun a ->
+            match (Action.Set.get base.Task.actions a).Action.op with
+            | Action.Drain -> w
+            | Action.Undrain -> 1.0)
+      in
+      let task = Task.with_params ~type_weights:weights base in
+      match (Astar.plan ~config:(cfg opts) task).Planner.outcome with
+      | Planner.Found p ->
+          Table_fmt.add_row t
+            [
+              Printf.sprintf "%.1f" w;
+              Printf.sprintf "%g" p.Plan.cost;
+              string_of_int (List.length p.Plan.runs);
+            ]
+      | _ -> Table_fmt.add_row t [ Printf.sprintf "%.1f" w; Runner.cross; "" ])
+    [ 0.5; 1.0; 2.0; 4.0 ];
+  Table_fmt.print ~align:Table_fmt.Right t;
+  (* (d) Guided greedy (§7.3's score-guided search, classical scoring):
+     cheap but not optimal. *)
+  Runner.note "(d) score-guided greedy vs Klotski-A* (topologies A-C):";
+  let t =
+    Table_fmt.create
+      ~headers:[ "Topology"; "Greedy cost"; "A* cost"; "Greedy checks"; "A* checks" ]
+  in
+  List.iter
+    (fun label ->
+      let task = task label in
+      let g = Greedy.plan ~config:(cfg opts) task in
+      let a = Astar.plan ~config:(cfg opts) task in
+      let cost r =
+        match r.Planner.outcome with
+        | Planner.Found p -> Printf.sprintf "%g" p.Plan.cost
+        | _ -> Runner.cross
+      in
+      Table_fmt.add_row t
+        [
+          label;
+          cost g;
+          cost a;
+          string_of_int g.Planner.stats.Planner.sat_checks;
+          string_of_int a.Planner.stats.Planner.sat_checks;
+        ])
+    [ "A"; "B"; "C" ];
+  Table_fmt.print ~align:Table_fmt.Right t
+
+let all = [
+  ("table1", table1);
+  ("table3", table3);
+  ("fig8", fig8);
+  ("fig9", fig9);
+  ("fig10", fig10);
+  ("fig11", fig11);
+  ("fig12", fig12);
+  ("fig13", fig13);
+  ("ext", ext);
+]

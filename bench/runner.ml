@@ -1,0 +1,65 @@
+(* Shared helpers for the experiment harness: planner invocation with a
+   budget, and cell formatting for the paper-shaped tables.  The paper
+   normalizes planning time by Klotski-A* and cost by the optimum; crosses
+   mark planners that cannot plan a task (Figures 9-11). *)
+
+type cell = {
+  cost : float option;  (** Plan cost, when a plan was produced. *)
+  time : float;  (** Planning seconds (meaningful even on timeout). *)
+  note : string;  (** "" | "timeout" | "unsupported" | "infeasible". *)
+}
+
+let run (result : Planner.result) =
+  let time = result.Planner.stats.Planner.elapsed in
+  match result.Planner.outcome with
+  | Planner.Found p -> { cost = Some p.Plan.cost; time; note = "" }
+  | Planner.Timeout (Some p) ->
+      { cost = Some p.Plan.cost; time; note = "timeout" }
+  | Planner.Timeout None -> { cost = None; time; note = "timeout" }
+  | Planner.Infeasible -> { cost = None; time; note = "infeasible" }
+  | Planner.Unsupported _ -> { cost = None; time; note = "unsupported" }
+
+let cross = "x"
+
+(* Cost normalized by the optimal cost (the paper's Fig. 8a/9a/10a). *)
+let norm_cost cell ~optimal =
+  match (cell.cost, cell.note) with
+  | _, "unsupported" -> cross ^ " (unsupported)"
+  | None, "timeout" -> cross ^ " (>budget)"
+  | None, "infeasible" -> cross ^ " (infeasible)"
+  | Some c, note ->
+      let v =
+        match optimal with
+        | Some o when o > 0.0 -> Printf.sprintf "%.2f" (c /. o)
+        | _ -> Printf.sprintf "%g" c
+      in
+      if note = "timeout" then v ^ "*" else v
+  | None, _ -> cross
+
+(* Planning time normalized by Klotski-A* (Fig. 8b/9b/10b). *)
+let norm_time cell ~base =
+  match cell.note with
+  | "unsupported" -> cross
+  | "timeout" -> Printf.sprintf ">%.0f (budget)" (cell.time /. base)
+  | _ -> Printf.sprintf "%.1f" (cell.time /. base)
+
+let raw_cost cell =
+  match (cell.cost, cell.note) with
+  | _, "unsupported" -> cross ^ " (unsupported)"
+  | None, "timeout" -> cross ^ " (>budget)"
+  | None, "infeasible" -> cross ^ " (infeasible)"
+  | Some c, "timeout" -> Printf.sprintf "%g*" c
+  | Some c, _ -> Printf.sprintf "%g" c
+  | None, _ -> cross
+
+let raw_time cell =
+  match cell.note with
+  | "timeout" -> Printf.sprintf ">%.1fs (budget)" cell.time
+  | "unsupported" -> cross
+  | _ -> Printf.sprintf "%.2fs" cell.time
+
+let heading title =
+  let bar = String.make (String.length title) '=' in
+  Printf.printf "\n%s\n%s\n" title bar
+
+let note text = Printf.printf "%s\n" text

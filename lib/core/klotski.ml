@@ -1,0 +1,130 @@
+type planner_kind = Astar | Dp | Mrc | Janus | Exhaustive | Greedy
+
+let planner_name = function
+  | Astar -> Astar.name
+  | Dp -> Dp.name
+  | Mrc -> Mrc.name
+  | Janus -> Janus.name
+  | Exhaustive -> Exhaustive.name
+  | Greedy -> Greedy.name
+
+let plan ?(planner = Astar) ?config task =
+  match planner with
+  | Astar -> Astar.plan ?config task
+  | Dp -> Dp.plan ?config task
+  | Mrc -> Mrc.plan ?config task
+  | Janus -> Janus.plan ?config task
+  | Exhaustive -> Exhaustive.plan ?config task
+  | Greedy -> Greedy.plan ?config task
+
+type phase = {
+  index : int;
+  action : Action.t;
+  block_labels : string list;
+  switches_touched : int;
+  circuits_touched : int;
+  state : Compact.t;
+}
+
+let phases (task : Task.t) (p : Plan.t) =
+  let blocks = Array.of_list p.Plan.blocks in
+  let v = ref (Compact.origin task.Task.actions) in
+  let step = ref 0 in
+  List.mapi
+    (fun i (a, k) ->
+      let members =
+        List.init k (fun j -> task.Task.blocks.(blocks.(!step + j)))
+      in
+      step := !step + k;
+      List.iter (fun (_ : Blocks.t) -> v := Compact.succ !v a) members;
+      {
+        index = i + 1;
+        action = Action.Set.get task.Task.actions a;
+        block_labels = List.map (fun (b : Blocks.t) -> b.Blocks.label) members;
+        switches_touched =
+          List.fold_left
+            (fun acc (b : Blocks.t) -> acc + Array.length b.Blocks.switches)
+            0 members;
+        circuits_touched =
+          List.fold_left
+            (fun acc (b : Blocks.t) -> acc + Array.length b.Blocks.circuits)
+            0 members;
+        state = !v;
+      })
+    p.Plan.runs
+
+let pp_phase fmt ph =
+  Format.fprintf fmt "phase %d: %s x%d (%d switches, %d circuits) -> %a"
+    ph.index (Action.to_string ph.action)
+    (List.length ph.block_labels)
+    ph.switches_touched ph.circuits_touched Kutil.Vec_key.pp ph.state
+
+let remainder_task (task : Task.t) ~executed =
+  let n = Array.length task.Task.blocks in
+  let done_flags = Array.make n false in
+  List.iter
+    (fun b ->
+      if b < 0 || b >= n then invalid_arg "Klotski.remainder_task: bad block id";
+      if done_flags.(b) then
+        invalid_arg "Klotski.remainder_task: block executed twice";
+      done_flags.(b) <- true)
+    executed;
+  (* Advance a copy of the universe to the reached state. *)
+  let topo = Topo.copy task.Task.topo in
+  List.iter
+    (fun b ->
+      let block = task.Task.blocks.(b) in
+      let active =
+        match block.Blocks.action.Action.op with
+        | Action.Drain -> false
+        | Action.Undrain -> true
+      in
+      Array.iter (fun s -> Topo.set_switch_active topo s active) block.Blocks.switches;
+      Array.iter (fun c -> Topo.set_circuit_active topo c active) block.Blocks.circuits)
+    executed;
+  (* Re-index the remaining blocks, preserving canonical per-type order. *)
+  let mapping = ref [] in
+  let remaining = ref [] in
+  let next_id = ref 0 in
+  Array.iter
+    (fun type_blocks ->
+      Array.iter
+        (fun b ->
+          if not done_flags.(b) then begin
+            let old_block = task.Task.blocks.(b) in
+            remaining := { old_block with Blocks.id = !next_id } :: !remaining;
+            mapping := b :: !mapping;
+            incr next_id
+          end)
+        type_blocks)
+    task.Task.blocks_by_type;
+  let blocks = Array.of_list (List.rev !remaining) in
+  let mapping = Array.of_list (List.rev !mapping) in
+  let actions =
+    Action.Set.of_list
+      (Array.to_list (Array.map (fun (b : Blocks.t) -> b.Blocks.action) blocks))
+  in
+  let n_types = Action.Set.cardinal actions in
+  let per_type = Array.make n_types [] in
+  Array.iter
+    (fun (b : Blocks.t) ->
+      let a = Action.Set.index actions b.Blocks.action in
+      per_type.(a) <- b.Blocks.id :: per_type.(a))
+    blocks;
+  let blocks_by_type = Array.map (fun l -> Array.of_list (List.rev l)) per_type in
+  let task' =
+    {
+      task with
+      Task.topo;
+      blocks;
+      actions;
+      blocks_by_type;
+      counts = Array.map Array.length blocks_by_type;
+    }
+  in
+  (task', mapping)
+
+let replan ?planner ?config (task : Task.t) ~executed ~demand_scales =
+  let task' = Task.scale_demands task demand_scales in
+  let task', mapping = remainder_task task' ~executed in
+  (plan ?planner ?config task', task', mapping)

@@ -1,0 +1,114 @@
+open Npd_ast
+
+let plan_to_npd (task : Task.t) (plan : Plan.t) =
+  let phases = Klotski.phases task plan in
+  {
+    doc_name = "plan:" ^ task.Task.name;
+    sections =
+      List.map
+        (fun (ph : Klotski.phase) ->
+          {
+            name = "phase";
+            args = [ ("index", Int ph.Klotski.index) ];
+            entries =
+              [
+                Field ("action", String (Action.to_string ph.Klotski.action));
+                Field ("switches", Int ph.Klotski.switches_touched);
+                Field ("circuits", Int ph.Klotski.circuits_touched);
+                Field
+                  ( "state",
+                    String (Kutil.Vec_key.to_string ph.Klotski.state) );
+              ]
+              @ List.map
+                  (fun label ->
+                    Section
+                      {
+                        name = "block";
+                        args = [];
+                        entries = [ Field ("label", String label) ];
+                      })
+                  ph.Klotski.block_labels;
+          })
+        phases;
+  }
+
+type phase_summary = {
+  index : int;
+  action : string;
+  blocks : string list;
+  switches : int;
+  circuits : int;
+  state : int array;
+}
+
+let parse_state text =
+  (* "(1, 0, 2)" back to [| 1; 0; 2 |]. *)
+  let trimmed = String.trim text in
+  let inner =
+    if
+      String.length trimmed >= 2
+      && trimmed.[0] = '('
+      && trimmed.[String.length trimmed - 1] = ')'
+    then String.sub trimmed 1 (String.length trimmed - 2)
+    else trimmed
+  in
+  if String.trim inner = "" then Ok [||]
+  else
+    let parts = String.split_on_char ',' inner in
+    let rec convert acc = function
+      | [] -> Ok (Array.of_list (List.rev acc))
+      | p :: rest -> (
+          match int_of_string_opt (String.trim p) with
+          | Some i -> convert (i :: acc) rest
+          | None -> Error (Printf.sprintf "bad state component %S" p))
+    in
+    convert [] parts
+
+let phases_of_npd (doc : Npd_ast.t) =
+  let exception Bad of string in
+  try
+    let phases =
+      List.map
+        (fun section ->
+          if section.name <> "phase" then
+            raise (Bad (Printf.sprintf "unexpected section %S" section.name));
+          let index =
+            match List.assoc_opt "index" section.args with
+            | Some (Int i) -> i
+            | _ -> raise (Bad "phase without integer index")
+          in
+          let blocks =
+            List.filter_map
+              (function
+                | Section { name = "block"; entries; _ } -> (
+                    match
+                      List.find_map
+                        (function
+                          | Field ("label", String l) -> Some l
+                          | Field _ | Section _ -> None)
+                        entries
+                    with
+                    | Some l -> Some l
+                    | None -> raise (Bad "block without label"))
+                | Section _ | Field _ -> None)
+              section.entries
+          in
+          let state =
+            match parse_state (string_field section "state" ~default:"()") with
+            | Ok s -> s
+            | Error e -> raise (Bad e)
+          in
+          {
+            index;
+            action = string_field section "action" ~default:"";
+            blocks;
+            switches = int_field section "switches" ~default:0;
+            circuits = int_field section "circuits" ~default:0;
+            state;
+          })
+        doc.sections
+    in
+    Ok phases
+  with
+  | Bad msg -> Error msg
+  | Failure msg -> Error msg

@@ -1,0 +1,26 @@
+(** Exporting migration plans as NPD documents.
+
+    The production NPD format "also contains information about migration
+    phases" (§5): after planning, EDP-Lite hands downstream systems an
+    ordered list of topology phases.  This module serializes a plan into
+    that shape — a [plan] document whose [phase] sections carry the action
+    type, the operated blocks, and the compact state reached — and reads
+    it back for audit tooling. *)
+
+val plan_to_npd : Task.t -> Plan.t -> Npd_ast.t
+(** A document named ["plan:<task>"] with one [phase index=i] section per
+    run of the plan, each holding the action, the per-block labels and
+    element counts, and the compact state reached. *)
+
+type phase_summary = {
+  index : int;
+  action : string;  (** e.g. ["drain HGRID-v1/mesh0"]. *)
+  blocks : string list;  (** Block labels operated in this phase. *)
+  switches : int;
+  circuits : int;
+  state : int array;  (** Compact state after the phase. *)
+}
+
+val phases_of_npd : Npd_ast.t -> (phase_summary list, string) result
+(** Parse a plan document back into phase summaries (used by external
+    audit tooling and round-trip tested). *)

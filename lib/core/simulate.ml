@@ -1,0 +1,157 @@
+module Prng = Kutil.Prng
+
+type config = {
+  failure_probability : float;
+  steps_per_week : int;
+  max_weeks : int;
+  planner_budget : float;
+}
+
+let default_config =
+  {
+    failure_probability = 0.1;
+    steps_per_week = 2;
+    max_weeks = 52;
+    planner_budget = 60.0;
+  }
+
+type event =
+  | Step_completed of { week : int; block : int; label : string }
+  | Step_failed of { week : int; block : int; label : string }
+  | Audit_failed of { week : int; block : int; reason : string }
+  | Replanned of { week : int; cost : float; steps : int }
+  | Completed of { week : int }
+  | Aborted of { week : int; reason : string }
+
+let pp_event fmt = function
+  | Step_completed { week; label; _ } ->
+      Format.fprintf fmt "week %2d: completed %s" week label
+  | Step_failed { week; label; _ } ->
+      Format.fprintf fmt "week %2d: push pipeline failed on %s (will retry)"
+        week label
+  | Audit_failed { week; reason; _ } ->
+      Format.fprintf fmt "week %2d: audit failed - %s" week reason
+  | Replanned { week; cost; steps } ->
+      Format.fprintf fmt "week %2d: replanned remainder (%d steps, cost %g)"
+        week steps cost
+  | Completed { week } -> Format.fprintf fmt "week %2d: migration complete" week
+  | Aborted { week; reason } ->
+      Format.fprintf fmt "week %2d: ABORTED - %s" week reason
+
+type outcome = {
+  events : event list;
+  weeks : int;
+  completed : bool;
+  failures : int;
+  replans : int;
+}
+
+(* Scale the base task's demands to a given week's forecast. *)
+let task_at_week (task : Task.t) forecast ~week =
+  let factors =
+    Array.of_list
+      (List.map
+         (fun (d : Demand.t) ->
+           Forecast.scale_at forecast ~week ~class_name:d.Demand.name)
+         task.Task.demands)
+  in
+  Task.scale_demands task factors
+
+(* Audit: is performing [block] next, from the executed prefix, safe under
+   this week's demand? *)
+let audit (task : Task.t) ~executed ~block =
+  let ck = Constraint.create task in
+  List.iter (Constraint.apply_block ck) executed;
+  Constraint.apply_block ck block;
+  Constraint.current_ok ~last_block:block ck
+
+let run ?(config = default_config) ~prng ~forecast (task : Task.t)
+    (plan : Plan.t) =
+  let events = ref [] in
+  let emit e = events := e :: !events in
+  let failures = ref 0 and replans = ref 0 in
+  let executed = ref [] in
+  (* [rest] holds the remaining block ids, in the base task's numbering. *)
+  let rest = ref plan.Plan.blocks in
+  let week = ref 0 in
+  let finished = ref false and aborted = ref false in
+  while (not !finished) && (not !aborted) && !week < config.max_weeks do
+    let week_task = task_at_week task forecast ~week:!week in
+    let slot = ref 0 in
+    while
+      !slot < config.steps_per_week && (not !finished) && not !aborted
+    do
+      incr slot;
+      match !rest with
+      | [] -> finished := true
+      | block :: tail ->
+          let label = task.Task.blocks.(block).Blocks.label in
+          if not (audit week_task ~executed:!executed ~block) then begin
+            emit
+              (Audit_failed
+                 {
+                   week = !week;
+                   block;
+                   reason =
+                     Printf.sprintf "%s is unsafe under week-%d demand" label
+                       !week;
+                 });
+            (* Replan the remainder under the current forecast. *)
+            let factors =
+              Array.of_list
+                (List.map
+                   (fun (d : Demand.t) ->
+                     Forecast.scale_at forecast ~week:!week
+                       ~class_name:d.Demand.name)
+                   task.Task.demands)
+            in
+            let result, _, mapping =
+              Klotski.replan
+                ~config:(Planner.with_budget (Some config.planner_budget))
+                task ~executed:!executed ~demand_scales:factors
+            in
+            incr replans;
+            match result.Planner.outcome with
+            | Planner.Found p ->
+                rest := List.map (fun b -> mapping.(b)) p.Plan.blocks;
+                emit
+                  (Replanned
+                     {
+                       week = !week;
+                       cost = p.Plan.cost;
+                       steps = Plan.length p;
+                     })
+            | Planner.Infeasible | Planner.Timeout _ | Planner.Unsupported _
+              ->
+                aborted := true;
+                emit
+                  (Aborted
+                     {
+                       week = !week;
+                       reason = "no safe remainder plan under current demand";
+                     })
+          end
+          else if Prng.float prng 1.0 < config.failure_probability then begin
+            incr failures;
+            emit (Step_failed { week = !week; block; label })
+          end
+          else begin
+            executed := !executed @ [ block ];
+            rest := tail;
+            emit (Step_completed { week = !week; block; label });
+            if tail = [] then finished := true
+          end
+    done;
+    incr week
+  done;
+  if !finished then emit (Completed { week = !week })
+  else if not !aborted then
+    emit
+      (Aborted { week = !week; reason = "max duration exceeded" });
+  {
+    events = List.rev !events;
+    weeks = !week;
+    completed = !finished;
+    failures = !failures;
+    replans = !replans;
+  }

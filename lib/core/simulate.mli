@@ -1,0 +1,60 @@
+(** Operation simulator: executing a migration plan in the real world
+    (§7.1–7.2).
+
+    A plan is a logical action sequence; executing it takes weeks, during
+    which the configuration push pipeline can fail ("an undrain step may
+    be unsuccessful if the network management system experiences an
+    outage"), demand grows and surges, and operators re-audit every step
+    before performing it.  This simulator reproduces that workflow:
+
+    + each week, demands are re-forecast ({!Forecast});
+    + before each step, the post-step state is audited under the current
+      demand ("we add extra audits and safety checks to Klotski's plans
+      during operation");
+    + a failed audit triggers replanning of the remainder with the
+      updated demand ({!Klotski.replan});
+    + the operation itself can fail with some probability, consuming the
+      step slot without progress — the retry happens next slot.
+
+    The simulation is deterministic given the PRNG. *)
+
+type config = {
+  failure_probability : float;
+      (** Per-step probability that the push pipeline fails (default 0.1). *)
+  steps_per_week : int;  (** Operation slots per week (default 2). *)
+  max_weeks : int;  (** Give up after this long (default 52). *)
+  planner_budget : float;  (** Seconds per replanning run (default 60). *)
+}
+
+val default_config : config
+
+type event =
+  | Step_completed of { week : int; block : int; label : string }
+  | Step_failed of { week : int; block : int; label : string }
+      (** The push pipeline failed; the step will be retried. *)
+  | Audit_failed of { week : int; block : int; reason : string }
+      (** The next step is no longer safe under current demand. *)
+  | Replanned of { week : int; cost : float; steps : int }
+  | Completed of { week : int }
+  | Aborted of { week : int; reason : string }
+
+val pp_event : Format.formatter -> event -> unit
+
+type outcome = {
+  events : event list;  (** In chronological order. *)
+  weeks : int;  (** Weeks elapsed when the run ended. *)
+  completed : bool;
+  failures : int;  (** Push-pipeline failures survived. *)
+  replans : int;  (** Replanning rounds triggered by audits. *)
+}
+
+val run :
+  ?config:config ->
+  prng:Kutil.Prng.t ->
+  forecast:Forecast.t ->
+  Task.t ->
+  Plan.t ->
+  outcome
+(** Execute [plan] on [task] under the forecast.  The task's demand scales
+    are treated as the week-0 calibration; class volumes at week [w] are
+    the calibrated volumes times {!Forecast.scale_at}. *)

@@ -1,0 +1,59 @@
+type op = Drain | Undrain
+
+let op_to_string = function Drain -> "drain" | Undrain -> "undrain"
+
+type target =
+  | Switch_layer of Switch.role * int
+  | Hgrid_layer of int * int
+  | Circuit_group of string
+
+type t = { op : op; target : target }
+
+let make op target = { op; target }
+
+let target_to_string = function
+  | Switch_layer (role, generation) ->
+      Printf.sprintf "%s-g%d" (Switch.role_to_string role) generation
+  | Hgrid_layer (generation, mesh) ->
+      Printf.sprintf "HGRID-v%d/mesh%d" generation mesh
+  | Circuit_group name -> Printf.sprintf "circuits %s" name
+
+let to_string a =
+  Printf.sprintf "%s %s" (op_to_string a.op) (target_to_string a.target)
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)
+
+module Set = struct
+  type action = t
+  type nonrec t = { actions : action array; index_of : (action, int) Hashtbl.t }
+
+  let of_list actions =
+    let seen = Hashtbl.create 8 in
+    let deduped =
+      List.filter
+        (fun a ->
+          if Hashtbl.mem seen a then false
+          else begin
+            Hashtbl.add seen a ();
+            true
+          end)
+        actions
+    in
+    let arr = Array.of_list deduped in
+    let index_of = Hashtbl.create 8 in
+    Array.iteri (fun i a -> Hashtbl.replace index_of a i) arr;
+    { actions = arr; index_of }
+
+  let cardinal s = Array.length s.actions
+  let get s i = s.actions.(i)
+
+  let index s a =
+    match Hashtbl.find_opt s.index_of a with
+    | Some i -> i
+    | None -> raise Not_found
+
+  let to_list s = Array.to_list s.actions
+end

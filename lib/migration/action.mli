@@ -1,0 +1,57 @@
+(** Actions and action types (§3).
+
+    A migration is a sequence of actions operated on switches and
+    circuits.  Every action has an {e action type}, decided by the switch
+    type R{_s} and the operation (drain or undrain): draining an SSW is a
+    different type from draining a FADU or undraining an SSW.  Consecutive
+    actions of the same type are operated in parallel by the on-site crew,
+    so the operational cost counts action-type changes (Eq. 1).
+
+    When the organization policy merges symmetry blocks of several roles
+    into one operation block (e.g. a whole HGRID grid, FADUs and FAUUs
+    together — Fig. 5), the block's action type names that merged layer. *)
+
+type op = Drain | Undrain
+
+val op_to_string : op -> string
+
+type target =
+  | Switch_layer of Switch.role * int
+      (** A (role, generation) switch group, e.g. [Switch_layer (FADU, 1)]. *)
+  | Hgrid_layer of int * int
+      (** A whole HGRID generation (FADU + FAUU merged, Fig. 5), qualified
+          by its meshing-pattern variant: grids wired with different
+          meshing patterns coexist in production (Fig. 2(c)) and cannot be
+          operated as one type. *)
+  | Circuit_group of string
+      (** Standalone circuits named by what they connect, e.g.
+          ["FAUU-EB"] for the DMAG drains. *)
+
+type t = { op : op; target : target }
+(** An action type. *)
+
+val make : op -> target -> t
+
+val to_string : t -> string
+(** e.g. ["drain HGRID-v1"], ["undrain SSW-g2"], ["drain circuits FAUU-EB"]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+
+module Set : sig
+  type action = t
+  type t
+
+  val of_list : action list -> t
+  (** Deduplicated, order-preserving index of the action types of a task.
+      A task has few action types (2–6); planners refer to them by index. *)
+
+  val cardinal : t -> int
+  val get : t -> int -> action
+  val index : t -> action -> int
+  (** Raises [Not_found] when absent. *)
+
+  val to_list : t -> action list
+end

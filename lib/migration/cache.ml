@@ -1,0 +1,53 @@
+module Table = Kutil.Vec_key.Table
+
+type t = {
+  enabled : bool;
+  funneling : bool;
+  table : bool Table.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(enabled = true) (task : Task.t) =
+  {
+    enabled;
+    funneling = task.Task.funneling > 0.0;
+    table = Table.create 1024;
+    hits = 0;
+    misses = 0;
+  }
+
+(* With funneling, satisfiability also depends on which block was operated
+   last; appending the last action type to the key keeps entries sound
+   (the block is determined by V and the type under canonical order). *)
+let key_of cache ?last_type v =
+  if not cache.funneling then v
+  else begin
+    let n = Array.length v in
+    let k = Array.make (n + 1) 0 in
+    Array.blit v 0 k 0 n;
+    k.(n) <- (match last_type with Some a -> a + 1 | None -> 0);
+    k
+  end
+
+let check cache ck ?last_type ?last_block v =
+  if not cache.enabled then begin
+    cache.misses <- cache.misses + 1;
+    Constraint.check ?last_block ck v
+  end
+  else begin
+    let key = key_of cache ?last_type v in
+    match Table.find_opt cache.table key with
+    | Some result ->
+        cache.hits <- cache.hits + 1;
+        result
+    | None ->
+        cache.misses <- cache.misses + 1;
+        let result = Constraint.check ?last_block ck v in
+        Table.replace cache.table (Kutil.Vec_key.copy key) result;
+        result
+  end
+
+let hits c = c.hits
+let misses c = c.misses
+let size c = Table.length c.table

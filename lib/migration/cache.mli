@@ -1,0 +1,30 @@
+(** Efficient satisfiability checking (ESC, §4.2): the cache table T{_c}.
+
+    Equivalent states — same compact vector — have the same topology and
+    hence the same satisfiability, so each vector is checked at most once.
+    The table maps compact vectors to check results exactly as the paper's
+    unordered map maps (V, 0/1).  The funneling margin makes results
+    additionally depend on the last operated block; when (and only when) a
+    task enables funneling, the cache key is extended with the last action
+    type, which identifies the last block given V. *)
+
+type t
+
+val create : ?enabled:bool -> Task.t -> t
+(** [create task] builds a cache bound to one checker's task.
+    [~enabled:false] reproduces the "Klotski w/o ESC" ablation: every
+    lookup misses and re-runs the full check. *)
+
+val check :
+  t -> Constraint.t -> ?last_type:int -> ?last_block:int -> Compact.t -> bool
+(** Cached satisfiability of state [v].  [last_type]/[last_block] describe
+    the most recent action (for funneling-aware tasks). *)
+
+val hits : t -> int
+(** Lookups answered from the table. *)
+
+val misses : t -> int
+(** Lookups that ran a full check. *)
+
+val size : t -> int
+(** Distinct states stored. *)

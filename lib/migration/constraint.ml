@@ -1,0 +1,291 @@
+type t = {
+  task : Task.t;
+  topo : Topo.t;
+  cur : int array;  (* applied blocks per action type *)
+  loads : float array;
+  scratch : Ecmp.scratch;
+  mutable checks : int;
+  related : int array option array;  (* funneling neighborhoods, lazy *)
+  power_load : float array;  (* active draw per power domain *)
+  mutable power_violations : int;  (* domains over capacity *)
+}
+
+let create (task : Task.t) =
+  let topo = Topo.copy task.Task.topo in
+  let power_load, power_violations =
+    match task.Task.power with
+    | None -> ([||], 0)
+    | Some p ->
+        let load = Power.load p topo in
+        let violations = ref 0 in
+        Array.iteri
+          (fun d l -> if l > p.Power.caps.(d) +. 1e-9 then incr violations)
+          load;
+        (load, !violations)
+  in
+  {
+    task;
+    topo;
+    cur = Array.make (Action.Set.cardinal task.Task.actions) 0;
+    loads = Array.make (Topo.n_circuits task.Task.topo) 0.0;
+    scratch = Ecmp.make_scratch task.Task.topo;
+    checks = 0;
+    related = Array.make (Array.length task.Task.blocks) None;
+    power_load;
+    power_violations;
+  }
+
+let task ck = ck.task
+
+(* Account a real activity transition of switch [s] against its power
+   domain, maintaining the over-capacity domain count. *)
+let bump_power ck s ~became_active =
+  match ck.task.Task.power with
+  | None -> ()
+  | Some p ->
+      let d = p.Power.domain_of.(s) in
+      if d >= 0 then begin
+        let cap = p.Power.caps.(d) +. 1e-9 in
+        let before = ck.power_load.(d) in
+        let after =
+          before +. (if became_active then p.Power.draw.(s) else -. p.Power.draw.(s))
+        in
+        ck.power_load.(d) <- after;
+        if before <= cap && after > cap then
+          ck.power_violations <- ck.power_violations + 1
+        else if before > cap && after <= cap then
+          ck.power_violations <- ck.power_violations - 1
+      end
+
+let set_block ck (b : Blocks.t) ~applied =
+  let active =
+    match b.Blocks.action.Action.op with
+    | Action.Drain -> not applied
+    | Action.Undrain -> applied
+  in
+  Array.iter
+    (fun s ->
+      if Topo.switch_active ck.topo s <> active then begin
+        bump_power ck s ~became_active:active;
+        Topo.set_switch_active ck.topo s active
+      end)
+    b.Blocks.switches;
+  Array.iter (fun c -> Topo.set_circuit_active ck.topo c active) b.Blocks.circuits
+
+let power_ok ck = ck.power_violations = 0
+
+let move_to ck (v : Compact.t) =
+  Array.iteri
+    (fun a target ->
+      while ck.cur.(a) < target do
+        let b = ck.task.Task.blocks_by_type.(a).(ck.cur.(a)) in
+        set_block ck ck.task.Task.blocks.(b) ~applied:true;
+        ck.cur.(a) <- ck.cur.(a) + 1
+      done;
+      while ck.cur.(a) > target do
+        let b = ck.task.Task.blocks_by_type.(a).(ck.cur.(a) - 1) in
+        set_block ck ck.task.Task.blocks.(b) ~applied:false;
+        ck.cur.(a) <- ck.cur.(a) - 1
+      done)
+    v
+
+(* Circuits that absorb the traffic a drained block was carrying: every
+   universe circuit incident to a neighbor of the block, except those
+   incident to the block itself (those are down with it). *)
+let related_circuits ck b =
+  match ck.related.(b) with
+  | Some circuits -> circuits
+  | None ->
+      let block = ck.task.Task.blocks.(b) in
+      let topo = ck.task.Task.topo in
+      let in_block = Hashtbl.create 16 in
+      Array.iter (fun s -> Hashtbl.replace in_block s ()) block.Blocks.switches;
+      let neighbors = Hashtbl.create 64 in
+      let note_neighbor j s =
+        let other = Circuit.other_end (Topo.circuit topo j) s in
+        if not (Hashtbl.mem in_block other) then
+          Hashtbl.replace neighbors other ()
+      in
+      Array.iter
+        (fun s ->
+          Array.iter (fun j -> note_neighbor j s) (Topo.up_circuits topo s);
+          Array.iter (fun j -> note_neighbor j s) (Topo.down_circuits topo s))
+        block.Blocks.switches;
+      Array.iter
+        (fun j ->
+          let c = Topo.circuit topo j in
+          Hashtbl.replace neighbors c.Circuit.lo ();
+          Hashtbl.replace neighbors c.Circuit.hi ())
+        block.Blocks.circuits;
+      let acc = Hashtbl.create 256 in
+      Hashtbl.iter
+        (fun s () ->
+          let keep j =
+            let c = Topo.circuit topo j in
+            if
+              not
+                (Hashtbl.mem in_block c.Circuit.lo
+                || Hashtbl.mem in_block c.Circuit.hi)
+            then Hashtbl.replace acc j ()
+          in
+          Array.iter keep (Topo.up_circuits topo s);
+          Array.iter keep (Topo.down_circuits topo s))
+        neighbors;
+      let circuits = Array.of_seq (Hashtbl.to_seq_keys acc) in
+      Array.sort compare circuits;
+      ck.related.(b) <- Some circuits;
+      circuits
+
+let eval_demands ck =
+  Array.fill ck.loads 0 (Array.length ck.loads) 0.0;
+  let stuck = ref 0.0 in
+  Array.iter
+    (fun (compiled, scale) ->
+      let split =
+        match ck.task.Task.routing with
+        | `Ecmp -> `Equal
+        | `Weighted -> `Capacity_weighted
+      in
+      let r =
+        Ecmp.evaluate ~scale ~split ck.topo ck.scratch compiled ~loads:ck.loads
+      in
+      stuck := !stuck +. r.Ecmp.stuck)
+    ck.task.Task.compiled;
+  !stuck
+
+let utilization_ok ck =
+  let theta = ck.task.Task.theta +. 1e-9 in
+  let n = Array.length ck.loads in
+  let rec loop j =
+    j >= n
+    || ((ck.loads.(j) = 0.0
+        || (not (Topo.usable ck.topo j))
+        || ck.loads.(j) /. (Topo.circuit ck.topo j).Circuit.capacity <= theta)
+       && loop (j + 1))
+  in
+  loop 0
+
+let funneling_ok ck ~last_block =
+  let phi = ck.task.Task.funneling in
+  if phi <= 0.0 then true
+  else
+    match last_block with
+    | None -> true
+    | Some b ->
+        let block = ck.task.Task.blocks.(b) in
+        if block.Blocks.action.Action.op <> Action.Drain then true
+        else begin
+          let theta = ck.task.Task.theta +. 1e-9 in
+          let circuits = related_circuits ck b in
+          Array.for_all
+            (fun j ->
+              (not (Topo.usable ck.topo j))
+              || ck.loads.(j) *. (1.0 +. phi)
+                 /. (Topo.circuit ck.topo j).Circuit.capacity
+                 <= theta)
+            circuits
+        end
+
+let check ?last_block ck v =
+  move_to ck v;
+  ck.checks <- ck.checks + 1;
+  Topo.ports_ok ck.topo && power_ok ck
+  &&
+  let stuck = eval_demands ck in
+  stuck <= 1e-9 && utilization_ok ck && funneling_ok ck ~last_block
+
+let checks_performed ck = ck.checks
+
+let apply_block ck b = set_block ck ck.task.Task.blocks.(b) ~applied:true
+let unapply_block ck b = set_block ck ck.task.Task.blocks.(b) ~applied:false
+
+let current_ok ?last_block ck =
+  ck.checks <- ck.checks + 1;
+  Topo.ports_ok ck.topo && power_ok ck
+  &&
+  let stuck = eval_demands ck in
+  stuck <= 1e-9 && utilization_ok ck && funneling_ok ck ~last_block
+
+let current_min_residual ck =
+  if not (Topo.ports_ok ck.topo) then neg_infinity
+  else begin
+    ck.checks <- ck.checks + 1;
+    let stuck = eval_demands ck in
+    if stuck > 1e-9 then neg_infinity
+    else begin
+      let theta = ck.task.Task.theta in
+      let worst = ref infinity in
+      Array.iteri
+        (fun j load ->
+          if load > 0.0 && Topo.usable ck.topo j then begin
+            let w = (Topo.circuit ck.topo j).Circuit.capacity in
+            let residual = ((theta *. w) -. load) /. w in
+            if residual < !worst then worst := residual
+          end)
+        ck.loads;
+      if !worst < -1e-9 then neg_infinity else !worst
+    end
+  end
+
+let check_plan (task : Task.t) blocks =
+  let ck = create task in
+  let n = Array.length task.Task.blocks in
+  let seen = Array.make n false in
+  let exception Bad of string in
+  try
+    if List.length blocks <> n then
+      raise (Bad (Printf.sprintf "plan has %d steps, task has %d blocks"
+                    (List.length blocks) n));
+    let last = ref None in
+    let cost = ref 0.0 in
+    List.iter
+      (fun b ->
+        if b < 0 || b >= n then raise (Bad (Printf.sprintf "bad block id %d" b));
+        if seen.(b) then
+          raise (Bad (Printf.sprintf "block %d operated twice" b));
+        seen.(b) <- true;
+        let a = Task.block_type task b in
+        cost :=
+          !cost
+          +. Cost.step ~alpha:task.Task.alpha ?weights:task.Task.type_weights
+               ~last:!last a;
+        last := Some a;
+        apply_block ck b;
+        if not (current_ok ~last_block:b ck) then
+          raise
+            (Bad
+               (Printf.sprintf "constraints violated after block %d (%s)" b
+                  task.Task.blocks.(b).Blocks.label)))
+      blocks;
+    Ok !cost
+  with Bad msg -> Error msg
+
+type summary = {
+  max_util : float;
+  stuck : float;
+  port_violations : int;
+  hottest : (int * float) list;
+}
+
+let evaluate_current ck =
+  let stuck = eval_demands ck in
+  let utils = ref [] in
+  Array.iteri
+    (fun j load ->
+      if load > 0.0 && Topo.usable ck.topo j then
+        utils := (j, load /. (Topo.circuit ck.topo j).Circuit.capacity) :: !utils)
+    ck.loads;
+  let sorted =
+    List.sort (fun (_, a) (_, b) -> Float.compare b a) !utils
+  in
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: tl -> x :: take (k - 1) tl
+  in
+  {
+    max_util = (match sorted with [] -> 0.0 | (_, u) :: _ -> u);
+    stuck;
+    port_violations = Topo.port_violation_count ck.topo;
+    hottest = take 5 sorted;
+  }

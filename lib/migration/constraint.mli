@@ -1,0 +1,77 @@
+(** The satisfiability checker: demand constraints (Eq. 4–5) and port
+    constraints (Eq. 6) on intermediate topologies.
+
+    One checker owns a private copy of the universe topology and moves it
+    between compact states by toggling operation blocks — the cost of a
+    move is proportional to the state difference, and a full check is
+    Θ(|S| + |C|) as in Theorems 1–2:
+
+    - port constraints are maintained incrementally by {!Topo} (O(1));
+    - space & power constraints (§7.2), when the task carries a
+      {!Power.t} model, are likewise maintained incrementally (O(1));
+    - demand constraints run every compiled ECMP class over the usable
+      circuits and verify no volume is stuck and every circuit's
+      utilization stays within θ;
+    - optionally, the transient traffic-funneling margin of §7.2 tightens
+      the bound to load·(1 + φ) ≤ θ·W on the circuits that absorb the
+      traffic of the block just drained. *)
+
+type t
+
+val create : Task.t -> t
+(** A fresh checker for [task].  The task's topology is copied; several
+    checkers never interfere. *)
+
+val move_to : t -> Compact.t -> unit
+(** Reconfigure the private topology to the given compact state. *)
+
+val check : ?last_block:int -> t -> Compact.t -> bool
+(** [check ?last_block ck v] is [true] iff the topology at state [v]
+    satisfies every constraint.  [last_block] identifies the most recently
+    operated block for the funneling margin; it only matters when the
+    task's [funneling] is positive and the block is a drain. *)
+
+val checks_performed : t -> int
+(** Number of full (uncached) satisfiability checks run so far. *)
+
+type summary = {
+  max_util : float;  (** Hottest usable circuit's load/capacity. *)
+  stuck : float;  (** Undeliverable volume (Tbps); > 0 breaks Eq. 4. *)
+  port_violations : int;  (** Switches over their port budget. *)
+  hottest : (int * float) list;
+      (** The five most utilized circuits, (circuit id, utilization). *)
+}
+
+val evaluate_current : t -> summary
+(** Diagnostic evaluation of the checker's current state (used by the
+    examples and the CLI's [check] command). *)
+
+val task : t -> Task.t
+
+(** {1 Raw block operations}
+
+    Baselines without the compact representation (MRC, plan replay)
+    operate blocks in arbitrary order.  Raw operations bypass the compact
+    state tracking: after using them, {!move_to} and {!check} must not be
+    called on the same checker. *)
+
+val apply_block : t -> int -> unit
+(** Perform block [b] on the current topology. *)
+
+val unapply_block : t -> int -> unit
+(** Revert block [b]. *)
+
+val current_ok : ?last_block:int -> t -> bool
+(** Run the full constraint check (ports, demands, funneling) on the
+    current topology, whatever state it is in.  Counts as a check. *)
+
+val current_min_residual : t -> float
+(** The MRC objective [37]: the minimum over loaded usable circuits of
+    (θ·W − load)/W, i.e. the worst remaining headroom fraction.
+    [neg_infinity] when the current state violates any constraint. *)
+
+val check_plan :
+  Task.t -> int list -> (float, string) result
+(** Replay a block sequence from the original state on a fresh checker,
+    verifying availability (each block exactly once), every prefix's
+    constraints, and returning the plan cost.  Used by [Plan.validate]. *)

@@ -1,0 +1,41 @@
+(** The operational cost model (Eq. 1 and the generalized form of §5).
+
+    Two adjacent actions of different types are operated serially, costing
+    1 each; two adjacent actions of the same type run in parallel with
+    extra cost α per action, α ∈ \[0, 1\] (α = 0 by default, recovering
+    Eq. 1: the cost is the number of action-type runs).  The admissible
+    heuristic for the remaining work is Eq. 9:
+    h(n) = Σ over types a with N{_a} > 0 of (1 + α(N{_a} − 1)). *)
+
+val step :
+  alpha:float -> ?weights:float array -> last:int option -> int -> float
+(** [step ~alpha ~last a] is the marginal cost of performing an action of
+    type [a] after an action of type [last] ([None] at the start):
+    [alpha·w{_a}] on a repeat, [w{_a}] on a type change or first action.
+
+    [weights] is the OPEX cost model of §7.2 ("different sequences of
+    steps could have different costs in terms of human efficiency"): a
+    positive labor weight per action type, default all 1 (recovering the
+    paper's Eq. 1 / §5 cost).  Raises [Invalid_argument] on non-positive
+    weights. *)
+
+val sequence : alpha:float -> ?weights:float array -> int list -> float
+(** Total cost of a type sequence (0. for the empty sequence). *)
+
+val heuristic : alpha:float -> ?weights:float array -> int array -> float
+(** Eq. 9 (weighted): the lower bound on the cost-to-go given the per-type
+    remaining action counts.  Never overestimates (each remaining type
+    needs at least one serial start plus α for each of its other actions),
+    which is what makes the A* result optimal. *)
+
+val heuristic_with_last :
+  alpha:float -> ?weights:float array -> last:int option -> int array -> float
+(** {!heuristic} tightened by the in-progress run: when the last operated
+    type [last] still has remaining actions, its run is already open and
+    its next action costs only α, so the bound drops by (1 − α).  This
+    keeps the heuristic admissible {e and} consistent under the step costs
+    of {!step} (Eq. 9 alone would overestimate in that state). *)
+
+val runs : int list -> (int * int) list
+(** [runs seq] compresses a type sequence into (type, length) runs —
+    the phases of the final migration plan. *)

@@ -1,0 +1,135 @@
+type t = {
+  name : string;
+  topo : Topo.t;
+  blocks : Blocks.t array;
+  actions : Action.Set.t;
+  blocks_by_type : int array array;
+  counts : int array;
+  demands : Demand.t list;
+  compiled : (Ecmp.compiled * float) array;
+  theta : float;
+  alpha : float;
+  funneling : float;
+  routing : [ `Ecmp | `Weighted ];
+  type_weights : float array option;
+  power : Power.t option;
+  adds_layer : bool;
+}
+
+let index_blocks blocks =
+  let actions =
+    Action.Set.of_list (List.map (fun (b : Blocks.t) -> b.Blocks.action) blocks)
+  in
+  let n_types = Action.Set.cardinal actions in
+  let per_type = Array.make n_types [] in
+  List.iter
+    (fun (b : Blocks.t) ->
+      let a = Action.Set.index actions b.Blocks.action in
+      per_type.(a) <- b.Blocks.id :: per_type.(a))
+    blocks;
+  let blocks_by_type = Array.map (fun l -> Array.of_list (List.rev l)) per_type in
+  let counts = Array.map Array.length blocks_by_type in
+  (actions, blocks_by_type, counts)
+
+let of_scenario ?(theta = 0.75) ?(alpha = 0.0) ?(funneling = 0.0)
+    ?(routing = `Ecmp) ?type_weights ?power ?(target_util = 0.52) ?(seed = 42)
+    ?(block_factor = 1.0) ?blocks ?demands (sc : Gen.scenario) =
+  let blocks =
+    match blocks with
+    | Some bs -> bs
+    | None -> Blocks.organize ~factor:block_factor sc
+  in
+  (match Blocks.validate sc.Gen.topo blocks with
+  | Ok () -> ()
+  | Error e -> invalid_arg (Printf.sprintf "Task.of_scenario: bad blocks: %s" e));
+  let demands =
+    match demands with
+    | Some ds -> ds
+    | None ->
+        let prng = Kutil.Prng.create ~seed in
+        Matrix.generate ~prng ~dcs:sc.Gen.layout.Gen.params.Gen.dcs ()
+  in
+  let rsws_by_dc = sc.Gen.layout.Gen.rsws_by_dc in
+  let ebbs = sc.Gen.layout.Gen.ebbs in
+  let compiled_raw =
+    List.map (fun d -> Routes.compile sc.Gen.topo ~rsws_by_dc ~ebbs d) demands
+  in
+  (* Calibrate so the hottest circuit of the original topology runs at
+     [target_util]: safety then forbids draining everything at once but
+     permits draining in slices, the band the paper describes. *)
+  let factor =
+    Matrix.calibration_factor sc.Gen.topo
+      (List.map (fun c -> (c, 1.0)) compiled_raw)
+      ~target_util
+  in
+  let demands = List.map (Demand.scale factor) demands in
+  let compiled = Array.of_list (List.map (fun c -> (c, factor)) compiled_raw) in
+  let blocks_arr = Array.of_list blocks in
+  Array.iteri
+    (fun i (b : Blocks.t) ->
+      if b.Blocks.id <> i then invalid_arg "Task.of_scenario: block id mismatch")
+    blocks_arr;
+  let actions, blocks_by_type, counts = index_blocks blocks in
+  {
+    name = sc.Gen.name;
+    topo = sc.Gen.topo;
+    blocks = blocks_arr;
+    actions;
+    blocks_by_type;
+    counts;
+    demands;
+    compiled;
+    theta;
+    alpha;
+    funneling;
+    routing;
+    type_weights;
+    power;
+    adds_layer = sc.Gen.adds_layer;
+  }
+
+
+let with_params ?theta ?alpha ?funneling ?routing ?type_weights ?power t =
+  {
+    t with
+    theta = Option.value theta ~default:t.theta;
+    alpha = Option.value alpha ~default:t.alpha;
+    funneling = Option.value funneling ~default:t.funneling;
+    routing = Option.value routing ~default:t.routing;
+    type_weights =
+      (match type_weights with Some w -> Some w | None -> t.type_weights);
+    power = (match power with Some p -> Some p | None -> t.power);
+  }
+
+let with_demand_scales t scales =
+  if Array.length scales <> Array.length t.compiled then
+    invalid_arg "Task.with_demand_scales: class count mismatch";
+  let compiled =
+    Array.mapi (fun i (c, _) -> (c, scales.(i))) t.compiled
+  in
+  let demands =
+    List.mapi
+      (fun i d ->
+        let _, old_scale = t.compiled.(i) in
+        Demand.scale (scales.(i) /. old_scale) d)
+      t.demands
+  in
+  { t with compiled; demands }
+
+let scale_demands t factors =
+  if Array.length factors <> Array.length t.compiled then
+    invalid_arg "Task.scale_demands: class count mismatch";
+  with_demand_scales t
+    (Array.mapi (fun i (_, scale) -> scale *. factors.(i)) t.compiled)
+
+let total_blocks t = Array.length t.blocks
+
+let block_type t b = Action.Set.index t.actions t.blocks.(b).Blocks.action
+
+let pp_summary fmt t =
+  Format.fprintf fmt
+    "task %s: %d blocks, %d action types, %d demand classes, theta=%.2f \
+     alpha=%.2f"
+    t.name (Array.length t.blocks)
+    (Action.Set.cardinal t.actions)
+    (List.length t.demands) t.theta t.alpha

@@ -1,0 +1,90 @@
+(** A migration task: the full problem instance the planners consume.
+
+    Bundles the universe topology, the operation blocks in canonical
+    per-type order, the compiled and calibrated traffic demands, and the
+    constraint parameters (utilization bound θ, cost parameter α,
+    funneling margin).  Tasks are immutable; the constraint checker makes
+    its own topology copy. *)
+
+type t = {
+  name : string;
+  topo : Topo.t;  (** Universe in the original state.  Not mutated. *)
+  blocks : Blocks.t array;  (** Indexed by block id. *)
+  actions : Action.Set.t;  (** The task's action types. *)
+  blocks_by_type : int array array;
+      (** [blocks_by_type.(a)] lists block ids of type [a] in the canonical
+          order Algorithm 2's [GetBlock] consumes them. *)
+  counts : int array;  (** Blocks per type: the target vector V*. *)
+  demands : Demand.t list;  (** Calibrated demand classes. *)
+  compiled : (Ecmp.compiled * float) array;
+      (** Per class: compiled route and volume scale factor. *)
+  theta : float;  (** Utilization bound θ of Eq. 5 (default 0.75). *)
+  alpha : float;  (** Cost parameter α of §5 (default 0). *)
+  funneling : float;
+      (** Transient funneling margin φ (§7.2): circuits adjacent to the
+          block just drained must satisfy load·(1+φ) ≤ θ·W.  0 disables. *)
+  routing : [ `Ecmp | `Weighted ];
+      (** Hashing policy used by the satisfiability checks: plain ECMP, or
+          the capacity-weighted temporary routing configurations operators
+          deploy when switch generations of different capacity coexist
+          (§7.1). *)
+  type_weights : float array option;
+      (** OPEX cost model (§7.2): per-action-type labor weight, indexed
+          like {!actions}.  [None] = all 1 (the paper's cost). *)
+  power : Power.t option;
+      (** Space & power constraints (§7.2): when present, every
+          intermediate state must keep each power domain within its
+          capacity.  [None] disables. *)
+  adds_layer : bool;  (** Propagated from the scenario (DMAG). *)
+}
+
+val of_scenario :
+  ?theta:float ->
+  ?alpha:float ->
+  ?funneling:float ->
+  ?routing:[ `Ecmp | `Weighted ] ->
+  ?type_weights:float array ->
+  ?power:Power.t ->
+  ?target_util:float ->
+  ?seed:int ->
+  ?block_factor:float ->
+  ?blocks:Blocks.t list ->
+  ?demands:Demand.t list ->
+  Gen.scenario ->
+  t
+(** Build a task from a generated scenario.  Demands default to
+    {!Matrix.generate} with the given [seed] (default 42), calibrated so
+    the hottest original circuit runs at [target_util] (default 0.45).
+    [blocks] overrides the organization policy (which otherwise runs at
+    [block_factor], default 1.0). *)
+
+val with_params :
+  ?theta:float ->
+  ?alpha:float ->
+  ?funneling:float ->
+  ?routing:[ `Ecmp | `Weighted ] ->
+  ?type_weights:float array ->
+  ?power:Power.t ->
+  t ->
+  t
+(** Vary the constraint/cost/routing parameters of an existing task (used
+    by the θ and α sweeps of Figures 12–13) without regenerating
+    demands. *)
+
+val with_demand_scales : t -> float array -> t
+(** Replace the per-class volume scales with absolute values (the scale
+    includes the calibration factor).  The array must match the number of
+    classes. *)
+
+val scale_demands : t -> float array -> t
+(** Multiply every class's current volume by a factor — the natural form
+    for demand forecasts (§7.1): a factor of 1.0 keeps the class as
+    calibrated, 1.1 grows it by 10%. *)
+
+val total_blocks : t -> int
+(** |L|: the number of block-level actions to perform. *)
+
+val block_type : t -> int -> int
+(** [block_type t b] is the action-type index of block [b]. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,182 @@
+open Npd_ast
+
+let kind_id = function
+  | Gen.Hgrid_v1_to_v2 -> "hgrid-v1-to-v2"
+  | Gen.Ssw_forklift -> "ssw-forklift"
+  | Gen.Dmag -> "dmag"
+
+let kind_of_id = function
+  | "hgrid-v1-to-v2" -> Ok Gen.Hgrid_v1_to_v2
+  | "ssw-forklift" -> Ok Gen.Ssw_forklift
+  | "dmag" -> Ok Gen.Dmag
+  | other -> Error (Printf.sprintf "unknown migration kind %S" other)
+
+let fi k v = Field (k, Int v)
+let ff k v = Field (k, Float v)
+
+let of_params kind (p : Gen.params) =
+  {
+    doc_name = p.Gen.label;
+    sections =
+      [
+        {
+          name = "fabric";
+          args = [];
+          entries =
+            [
+              fi "dcs" p.Gen.dcs;
+              fi "pods" p.Gen.pods;
+              fi "rsws_per_pod" p.Gen.rsws_per_pod;
+              fi "planes" p.Gen.planes;
+              fi "ssws_per_plane" p.Gen.ssws_per_plane;
+              fi "link_mult" p.Gen.link_mult;
+              ff "cap_rsw_fsw" p.Gen.cap_rsw_fsw;
+              ff "cap_fsw_ssw" p.Gen.cap_fsw_ssw;
+              ff "cap_fsw_ssw_new" p.Gen.cap_fsw_ssw_new;
+              fi "fsw_port_headroom" p.Gen.fsw_port_headroom;
+            ];
+        };
+        {
+          name = "hgrid";
+          args = [ ("generation", Int 1) ];
+          entries =
+            [
+              fi "grids" p.Gen.v1_grids;
+              fi "fadu_per_grid" p.Gen.v1_fadu_per_grid;
+              fi "fauu_per_grid" p.Gen.v1_fauu_per_grid;
+              ff "cap_ssw_fadu" p.Gen.cap_ssw_fadu_v1;
+              ff "cap_ssw_fadu_new" p.Gen.cap_ssw_fadu_new;
+              ff "cap_fadu_fauu" p.Gen.cap_fadu_fauu;
+              ff "cap_fauu_eb" p.Gen.cap_fauu_eb;
+              fi "mesh_variants" p.Gen.mesh_variants;
+              fi "ssw_port_headroom" p.Gen.ssw_port_headroom;
+            ];
+        };
+        {
+          name = "hgrid";
+          args = [ ("generation", Int 2) ];
+          entries =
+            [
+              fi "grids" p.Gen.v2_grids;
+              fi "fadu_per_grid" p.Gen.v2_fadu_per_grid;
+              fi "fauu_per_grid" p.Gen.v2_fauu_per_grid;
+              ff "cap_ssw_fadu" p.Gen.cap_ssw_fadu_v2;
+            ];
+        };
+        {
+          name = "ma";
+          args = [];
+          entries =
+            [
+              fi "count" p.Gen.mas;
+              ff "cap_fauu_ma" p.Gen.cap_fauu_ma;
+              ff "cap_ma_eb" p.Gen.cap_ma_eb;
+            ];
+        };
+        { name = "eb"; args = []; entries = [ fi "count" p.Gen.ebs ] };
+        {
+          name = "dr";
+          args = [];
+          entries = [ fi "count" p.Gen.drs; ff "cap_eb_dr" p.Gen.cap_eb_dr ];
+        };
+        {
+          name = "bb";
+          args = [];
+          entries = [ fi "ebbs" p.Gen.ebbs; ff "cap_dr_ebb" p.Gen.cap_dr_ebb ];
+        };
+        {
+          name = "migration";
+          args = [];
+          entries = [ Field ("kind", String (kind_id kind)) ];
+        };
+      ];
+  }
+
+let section_arg_int section key ~default =
+  match List.assoc_opt key section.args with
+  | Some (Int i) -> i
+  | Some _ -> failwith (Printf.sprintf "argument %s: expected integer" key)
+  | None -> default
+
+let to_params doc =
+  try
+    let require name =
+      match find_section doc name with
+      | Some s -> s
+      | None -> failwith (Printf.sprintf "missing required section %S" name)
+    in
+    let fabric = require "fabric" in
+    let hgrids = find_sections doc "hgrid" in
+    let hgrid generation =
+      match
+        List.find_opt
+          (fun s -> section_arg_int s "generation" ~default:1 = generation)
+          hgrids
+      with
+      | Some s -> s
+      | None ->
+          failwith (Printf.sprintf "missing hgrid generation=%d" generation)
+    in
+    let h1 = hgrid 1 and h2 = hgrid 2 in
+    let ma =
+      Option.value (find_section doc "ma")
+        ~default:{ name = "ma"; args = []; entries = [] }
+    in
+    let eb = require "eb" and dr = require "dr" and bb = require "bb" in
+    let migration = require "migration" in
+    let kind =
+      match kind_of_id (string_field migration "kind" ~default:"") with
+      | Ok k -> k
+      | Error e -> failwith e
+    in
+    let p =
+      {
+        Gen.label = doc.doc_name;
+        dcs = int_field fabric "dcs" ~default:1;
+        pods = int_field fabric "pods" ~default:1;
+        rsws_per_pod = int_field fabric "rsws_per_pod" ~default:1;
+        planes = int_field fabric "planes" ~default:4;
+        ssws_per_plane = int_field fabric "ssws_per_plane" ~default:1;
+        link_mult = int_field fabric "link_mult" ~default:1;
+        cap_rsw_fsw = float_field fabric "cap_rsw_fsw" ~default:0.1;
+        cap_fsw_ssw = float_field fabric "cap_fsw_ssw" ~default:0.4;
+        cap_fsw_ssw_new = float_field fabric "cap_fsw_ssw_new" ~default:0.5;
+        fsw_port_headroom = int_field fabric "fsw_port_headroom" ~default:4;
+        v1_grids = int_field h1 "grids" ~default:1;
+        v1_fadu_per_grid = int_field h1 "fadu_per_grid" ~default:4;
+        v1_fauu_per_grid = int_field h1 "fauu_per_grid" ~default:2;
+        cap_ssw_fadu_v1 = float_field h1 "cap_ssw_fadu" ~default:0.4;
+        cap_ssw_fadu_new = float_field h1 "cap_ssw_fadu_new" ~default:0.5;
+        cap_fadu_fauu = float_field h1 "cap_fadu_fauu" ~default:2.0;
+        cap_fauu_eb = float_field h1 "cap_fauu_eb" ~default:1.2;
+        mesh_variants = int_field h1 "mesh_variants" ~default:2;
+        ssw_port_headroom = int_field h1 "ssw_port_headroom" ~default:1;
+        v2_grids = int_field h2 "grids" ~default:1;
+        v2_fadu_per_grid = int_field h2 "fadu_per_grid" ~default:4;
+        v2_fauu_per_grid = int_field h2 "fauu_per_grid" ~default:2;
+        cap_ssw_fadu_v2 = float_field h2 "cap_ssw_fadu" ~default:0.4;
+        mas = int_field ma "count" ~default:0;
+        cap_fauu_ma = float_field ma "cap_fauu_ma" ~default:1.2;
+        cap_ma_eb = float_field ma "cap_ma_eb" ~default:2.4;
+        ebs = int_field eb "count" ~default:2;
+        drs = int_field dr "count" ~default:1;
+        cap_eb_dr = float_field dr "cap_eb_dr" ~default:6.4;
+        ebbs = int_field bb "ebbs" ~default:1;
+        cap_dr_ebb = float_field bb "cap_dr_ebb" ~default:12.8;
+      }
+    in
+    Ok (kind, p)
+  with Failure msg -> Error msg
+
+let to_scenario doc =
+  match to_params doc with
+  | Error _ as e -> e
+  | Ok (kind, p) -> (
+      match Gen.build kind p with
+      | scenario -> Ok scenario
+      | exception Invalid_argument msg -> Error msg)
+
+let load_scenario path =
+  match Npd_parser.parse_file path with
+  | Error _ as e -> e
+  | Ok doc -> to_scenario doc

@@ -1,0 +1,27 @@
+(** Conversion between NPD documents and migration scenarios.
+
+    This is the front half of the EDP-Lite pipeline (§5): "EDP-Lite takes
+    NPD-format original/target topologies … converts them into topologies
+    and passes the topologies to Klotski."  A document carries the six
+    parts plus a [migration] section naming the migration type; converting
+    builds the generator parameters and then the scenario universe.
+
+    [of_params] and [to_params] are mutually inverse on well-formed
+    input (property-tested). *)
+
+val of_params : Gen.kind -> Gen.params -> Npd_ast.t
+(** Describe a parametric region and its migration as an NPD document. *)
+
+val to_params : Npd_ast.t -> (Gen.kind * Gen.params, string) result
+(** Read the generator parameters back.  Missing optional fields take the
+    generator defaults; a missing required section is an error. *)
+
+val to_scenario : Npd_ast.t -> (Gen.scenario, string) result
+(** [to_params] followed by [Gen.build]. *)
+
+val load_scenario : string -> (Gen.scenario, string) result
+(** Parse a file and convert ({!Npd_parser.parse_file} + {!to_scenario}). *)
+
+val kind_id : Gen.kind -> string
+(** Stable identifier used in the [migration] section:
+    ["hgrid-v1-to-v2"], ["ssw-forklift"], ["dmag"]. *)

@@ -1,0 +1,24 @@
+(** Recursive-descent parser for NPD documents.
+
+    Grammar:
+    {v
+    document := "npd" STRING "{" section* "}"
+    section  := IDENT arg* "{" entry* "}"
+    arg      := IDENT "=" value
+    entry    := IDENT "=" value          (field)
+              | section                  (nested part)
+    value    := INT | FLOAT | STRING | "true" | "false"
+    v} *)
+
+exception Parse_error of string * Npd_lexer.position
+(** Raised (alongside {!Npd_lexer.Lex_error}) on malformed documents. *)
+
+val parse : string -> Npd_ast.t
+(** Parse an in-memory document.  Raises {!Parse_error} or
+    {!Npd_lexer.Lex_error}. *)
+
+val parse_result : string -> (Npd_ast.t, string) result
+(** Like {!parse} but with errors rendered as ["line L, column C: msg"]. *)
+
+val parse_file : string -> (Npd_ast.t, string) result
+(** Read and parse a file; IO errors are reported in the [Error] case. *)

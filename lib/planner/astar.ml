@@ -1,0 +1,159 @@
+module Vec_key = Kutil.Vec_key
+module Budget = Kutil.Timer.Budget
+
+let name = "Klotski-A*"
+
+(* Search states are (V, last action type); the hashtable key is V with
+   last + 1 appended (0 = no action yet). *)
+let skey v last =
+  let n = Array.length v in
+  let k = Array.make (n + 1) 0 in
+  Array.blit v 0 k 0 n;
+  k.(n) <- last + 1;
+  k
+
+type entry = {
+  f : float;
+  finished : int;  (* secondary priority: deeper states first *)
+  g : float;
+  v : Compact.t;
+  last : int;  (* -1 before the first action *)
+  rev_types : int list;  (* the operated type sequence, newest first *)
+}
+
+let entry_compare a b =
+  let c = Float.compare a.f b.f in
+  if c <> 0 then c
+  else
+    let c = compare b.finished a.finished in
+    if c <> 0 then c else Float.compare a.g b.g
+
+let budget_of (config : Planner.config) =
+  match config.Planner.budget_seconds with
+  | None -> Budget.unlimited
+  | Some s -> Budget.of_seconds s
+
+(* [dedup:false] removes the compact-representation state table entirely
+   (the "w/o ESC" ablation together with [use_cache:false]): the search
+   degenerates to best-first over the action-sequence tree, so equivalent
+   states are re-generated and re-checked once per ordering. *)
+let plan ?(config = Planner.default_config) ?(dedup = true) (task : Task.t) =
+  let budget = budget_of config in
+  let started = Kutil.Timer.now () in
+  let checker = Constraint.create task in
+  let cache = Cache.create ~enabled:config.Planner.use_cache task in
+  let n_types = Action.Set.cardinal task.Task.actions in
+  let counts = task.Task.counts in
+  let alpha = task.Task.alpha in
+  let weights = task.Task.type_weights in
+  let open_heap = Kutil.Heap.create ~compare:entry_compare in
+  let best_g = Vec_key.Table.create 1024 in
+  let closed = Vec_key.Table.create 1024 in
+  let expanded = ref 0 and generated = ref 0 in
+  let remaining_scratch = Array.make n_types 0 in
+  let heuristic v last =
+    for a = 0 to n_types - 1 do
+      remaining_scratch.(a) <- counts.(a) - v.(a)
+    done;
+    Cost.heuristic_with_last ~alpha ?weights
+      ~last:(if last >= 0 then Some last else None)
+      remaining_scratch
+  in
+  let v0 = Compact.origin task.Task.actions in
+  if dedup then Vec_key.Table.replace best_g (skey v0 (-1)) 0.0;
+  Kutil.Heap.push open_heap
+    {
+      f = heuristic v0 (-1);
+      finished = 0;
+      g = 0.0;
+      v = v0;
+      last = -1;
+      rev_types = [];
+    };
+  let stats () =
+    {
+      Planner.expanded = !expanded;
+      generated = !generated;
+      sat_checks = Constraint.checks_performed checker;
+      cache_hits = Cache.hits cache;
+      elapsed = Kutil.Timer.now () -. started;
+    }
+  in
+  let plan_of rev_types =
+    let next = Array.make n_types 0 in
+    let blocks =
+      List.fold_left
+        (fun acc a ->
+          let b = task.Task.blocks_by_type.(a).(next.(a)) in
+          next.(a) <- next.(a) + 1;
+          b :: acc)
+        []
+        (List.rev rev_types)
+    in
+    Plan.make task (List.rev blocks)
+  in
+  let rec search () =
+    if Budget.expired budget then
+      { Planner.planner = name; outcome = Planner.Timeout None; stats = stats () }
+    else
+      match Kutil.Heap.pop open_heap with
+      | None ->
+          { Planner.planner = name; outcome = Planner.Infeasible; stats = stats () }
+      | Some e ->
+          let key = skey e.v e.last in
+          let skip =
+            dedup
+            && ((match Vec_key.Table.find_opt best_g key with
+                | Some g -> e.g > g +. 1e-12
+                | None -> true)
+               || Vec_key.Table.mem closed key)
+          in
+          if skip then search ()
+          else if Compact.is_target e.v ~counts then
+            {
+              Planner.planner = name;
+              outcome = Planner.Found (plan_of e.rev_types);
+              stats = stats ();
+            }
+          else begin
+            if dedup then Vec_key.Table.replace closed key ();
+            incr expanded;
+            for a = 0 to n_types - 1 do
+              if e.v.(a) < counts.(a) then begin
+                let block = task.Task.blocks_by_type.(a).(e.v.(a)) in
+                let v' = Compact.succ e.v a in
+                incr generated;
+                if Cache.check cache checker ~last_type:a ~last_block:block v'
+                then begin
+                  let g' =
+                    e.g
+                    +. Cost.step ~alpha ?weights
+                         ~last:(if e.last >= 0 then Some e.last else None)
+                         a
+                  in
+                  let better =
+                    (not dedup)
+                    ||
+                    match Vec_key.Table.find_opt best_g (skey v' a) with
+                    | Some g -> g' < g -. 1e-12
+                    | None -> true
+                  in
+                  if better then begin
+                    if dedup then Vec_key.Table.replace best_g (skey v' a) g';
+                    Kutil.Heap.push open_heap
+                      {
+                        f = g' +. heuristic v' a;
+                        finished = Compact.finished v';
+                        g = g';
+                        v = v';
+                        last = a;
+                        rev_types = a :: e.rev_types;
+                      }
+                  end
+                end
+              end
+            done;
+            search ()
+          end
+  in
+  search ()

@@ -1,0 +1,125 @@
+module Vec_key = Kutil.Vec_key
+module Budget = Kutil.Timer.Budget
+
+let name = "Klotski-DP"
+
+(* Per lattice point V we store an array over last-action types:
+   g.(a) = best cost reaching V ending with type a, and the predecessor
+   last type for reconstruction (Algorithm 1's auxiliary array). *)
+type cell = { g : float array; prev : int array }
+
+let plan ?(config = Planner.default_config) (task : Task.t) =
+  let budget =
+    match config.Planner.budget_seconds with
+    | None -> Budget.unlimited
+    | Some s -> Budget.of_seconds s
+  in
+  let started = Kutil.Timer.now () in
+  let checker = Constraint.create task in
+  let cache = Cache.create ~enabled:config.Planner.use_cache task in
+  let n_types = Action.Set.cardinal task.Task.actions in
+  let counts = task.Task.counts in
+  let alpha = task.Task.alpha in
+  let weights = task.Task.type_weights in
+  let total = Array.fold_left ( + ) 0 counts in
+  let cells = Vec_key.Table.create 1024 in
+  let layers = Array.make (total + 1) [] in
+  let expanded = ref 0 and generated = ref 0 in
+  let v0 = Compact.origin task.Task.actions in
+  let origin_cell =
+    { g = Array.make (n_types + 1) infinity; prev = Array.make (n_types + 1) (-2) }
+  in
+  (* Index n_types in the per-cell arrays stands for "no action yet". *)
+  origin_cell.g.(n_types) <- 0.0;
+  Vec_key.Table.replace cells v0 origin_cell;
+  layers.(0) <- [ v0 ];
+  let stats () =
+    {
+      Planner.expanded = !expanded;
+      generated = !generated;
+      sat_checks = Constraint.checks_performed checker;
+      cache_hits = Cache.hits cache;
+      elapsed = Kutil.Timer.now () -. started;
+    }
+  in
+  let timeout = ref false in
+  (* Forward propagation, layer by layer (ascending Σv, Eq. 7/8). *)
+  (try
+     for t = 0 to total - 1 do
+       List.iter
+         (fun v ->
+           if Budget.expired budget then begin
+             timeout := true;
+             raise Exit
+           end;
+           let cell = Vec_key.Table.find cells v in
+           incr expanded;
+           for a = 0 to n_types - 1 do
+             if v.(a) < counts.(a) then begin
+               let block = task.Task.blocks_by_type.(a).(v.(a)) in
+               let v' = Compact.succ v a in
+               incr generated;
+               if Cache.check cache checker ~last_type:a ~last_block:block v'
+               then begin
+                 let cell' =
+                   match Vec_key.Table.find_opt cells v' with
+                   | Some c -> c
+                   | None ->
+                       let c =
+                         {
+                           g = Array.make (n_types + 1) infinity;
+                           prev = Array.make (n_types + 1) (-2);
+                         }
+                       in
+                       Vec_key.Table.replace cells v' c;
+                       layers.(t + 1) <- v' :: layers.(t + 1);
+                       c
+                 in
+                 (* Relax from every finite last type of the predecessor. *)
+                 for l = 0 to n_types do
+                   if cell.g.(l) < infinity then begin
+                     let last = if l = n_types then None else Some l in
+                     let g' = cell.g.(l) +. Cost.step ~alpha ?weights ~last a in
+                     if g' < cell'.g.(a) -. 1e-12 then begin
+                       cell'.g.(a) <- g';
+                       cell'.prev.(a) <- l
+                     end
+                   end
+                 done
+               end
+             end
+           done)
+         layers.(t)
+     done
+   with Exit -> ());
+  if !timeout then
+    { Planner.planner = name; outcome = Planner.Timeout None; stats = stats () }
+  else begin
+    let target = Array.copy counts in
+    match Vec_key.Table.find_opt cells target with
+    | None ->
+        { Planner.planner = name; outcome = Planner.Infeasible; stats = stats () }
+    | Some cell ->
+        let best_last = ref (-1) and best = ref infinity in
+        for a = 0 to n_types - 1 do
+          if cell.g.(a) < !best then begin
+            best := cell.g.(a);
+            best_last := a
+          end
+        done;
+        if !best_last < 0 then
+          { Planner.planner = name; outcome = Planner.Infeasible; stats = stats () }
+        else begin
+          (* Rebuild backwards through the auxiliary array (GetAnswer). *)
+          let rec walk v last acc =
+            if last = n_types then acc
+            else begin
+              let b = task.Task.blocks_by_type.(last).(v.(last) - 1) in
+              let cell = Vec_key.Table.find cells v in
+              walk (Compact.pred v last) cell.prev.(last) (b :: acc)
+            end
+          in
+          let plan = Plan.make task (walk target !best_last []) in
+          { Planner.planner = name; outcome = Planner.Found plan; stats = stats () }
+        end
+  end

@@ -1,0 +1,115 @@
+module Budget = Kutil.Timer.Budget
+
+let name = "Klotski w/o A*"
+
+exception Out_of_time
+
+let plan ?(config = Planner.default_config) ?(bound = `Cost_only)
+    (task : Task.t) =
+  let prune = bound <> `None in
+  let heuristic_bound = bound = `Heuristic in
+  let budget =
+    match config.Planner.budget_seconds with
+    | None -> Budget.unlimited
+    | Some s -> Budget.of_seconds s
+  in
+  let started = Kutil.Timer.now () in
+  let checker = Constraint.create task in
+  let cache = Cache.create ~enabled:config.Planner.use_cache task in
+  let n_types = Action.Set.cardinal task.Task.actions in
+  let counts = task.Task.counts in
+  let alpha = task.Task.alpha in
+  let weights = task.Task.type_weights in
+  let total = Array.fold_left ( + ) 0 counts in
+  let v = Compact.origin task.Task.actions in
+  let seq = Array.make (max total 1) (-1) in
+  let best_cost = ref infinity in
+  let best_seq = ref None in
+  let expanded = ref 0 and generated = ref 0 in
+  let remaining = Array.copy counts in
+  let timeout = ref false in
+  (* Depth-first over type sequences; blocks are consumed in canonical
+     per-type order so a sequence of types determines the plan. *)
+  let rec dfs depth last g =
+    if Budget.expired budget then raise Out_of_time;
+    incr expanded;
+    if depth = total then begin
+      if g < !best_cost then begin
+        best_cost := g;
+        best_seq := Some (Array.copy seq)
+      end
+    end
+    else
+      for a = 0 to n_types - 1 do
+        if remaining.(a) > 0 then begin
+          let lower_bound =
+            if not prune then neg_infinity
+            else if heuristic_bound then
+              g
+              +. Cost.step ~alpha ?weights ~last a
+              +. (let r = remaining.(a) in
+                  remaining.(a) <- r - 1;
+                  let h =
+                    Cost.heuristic_with_last ~alpha ?weights ~last:(Some a) remaining
+                  in
+                  remaining.(a) <- r;
+                  h)
+            else
+              (* Uninformed: only the cost already paid bounds the branch. *)
+              g +. Cost.step ~alpha ?weights ~last a
+          in
+          if lower_bound < !best_cost -. 1e-12 || not prune then begin
+            let block = task.Task.blocks_by_type.(a).(v.(a)) in
+            v.(a) <- v.(a) + 1;
+            incr generated;
+            let ok =
+              Cache.check cache checker ~last_type:a ~last_block:block v
+            in
+            if ok then begin
+              seq.(depth) <- a;
+              remaining.(a) <- remaining.(a) - 1;
+              let g' = g +. Cost.step ~alpha ?weights ~last a in
+              dfs (depth + 1) (Some a) g';
+              remaining.(a) <- remaining.(a) + 1
+            end;
+            v.(a) <- v.(a) - 1
+          end
+        end
+      done
+  in
+  (try dfs 0 None 0.0 with Out_of_time -> timeout := true);
+  let stats =
+    {
+      Planner.expanded = !expanded;
+      generated = !generated;
+      sat_checks = Constraint.checks_performed checker;
+      cache_hits = Cache.hits cache;
+      elapsed = Kutil.Timer.now () -. started;
+    }
+  in
+  let plan_of_types types =
+    (* Types back to canonical blocks. *)
+    let next = Array.make n_types 0 in
+    let blocks =
+      Array.to_list
+        (Array.map
+           (fun a ->
+             let b = task.Task.blocks_by_type.(a).(next.(a)) in
+             next.(a) <- next.(a) + 1;
+             b)
+           types)
+    in
+    Plan.make task blocks
+  in
+  match (!timeout, !best_seq) with
+  | true, Some s ->
+      {
+        Planner.planner = name;
+        outcome = Planner.Timeout (Some (plan_of_types s));
+        stats;
+      }
+  | true, None -> { Planner.planner = name; outcome = Planner.Timeout None; stats }
+  | false, Some s ->
+      { Planner.planner = name; outcome = Planner.Found (plan_of_types s); stats }
+  | false, None ->
+      { Planner.planner = name; outcome = Planner.Infeasible; stats }

@@ -1,0 +1,33 @@
+(** Exhaustive search over action sequences.
+
+    Two uses:
+
+    - the "Klotski w/o A*" ablation of §6.4: remove the informed search
+      and the state-space merging, leaving a depth-first traversal of the
+      action-{e sequence} tree (operation blocks and the ESC cache stay).
+      It must visit every feasible interleaving — multinomially many — to
+      certify optimality, which is the "explore the whole search space"
+      behaviour the paper measures at 7–1456× slower;
+    - the oracle for the test suite: on small tasks, [plan ~prune:false]
+      enumerates all feasible sequences and its optimum independently
+      validates A* and DP.
+
+    With [prune] (default), branches whose g plus the admissible bound
+    already reach the best known cost are cut — still exact, just less
+    absurdly slow. *)
+
+val name : string
+(** ["Klotski w/o A*"] *)
+
+val plan :
+  ?config:Planner.config ->
+  ?bound:[ `Cost_only | `Heuristic | `None ] ->
+  Task.t ->
+  Planner.result
+(** [bound] selects the branch-and-bound strength:
+    - [`Cost_only] (default, the w/o-A* ablation): a branch is cut only
+      when the cost already paid reaches the best known plan — the
+      uninformed search has no admissible look-ahead;
+    - [`Heuristic]: additionally add the Eq. 9 bound (still exact, much
+      faster — this is what the test oracle uses);
+    - [`None]: full enumeration of every feasible sequence. *)

@@ -1,0 +1,100 @@
+module Budget = Kutil.Timer.Budget
+
+let name = "Guided greedy"
+
+let plan ?(config = Planner.default_config) (task : Task.t) =
+  let budget =
+    match config.Planner.budget_seconds with
+    | None -> Budget.unlimited
+    | Some s -> Budget.of_seconds s
+  in
+  let started = Kutil.Timer.now () in
+  let checker = Constraint.create task in
+  let cache = Cache.create ~enabled:config.Planner.use_cache task in
+  let n_types = Action.Set.cardinal task.Task.actions in
+  let counts = task.Task.counts in
+  let alpha = task.Task.alpha in
+  let weights = task.Task.type_weights in
+  let total = Array.fold_left ( + ) 0 counts in
+  let v = Compact.origin task.Task.actions in
+  let remaining = Array.copy counts in
+  let rev_types = ref [] in
+  let last = ref None in
+  let expanded = ref 0 and generated = ref 0 in
+  let timeout = ref false and dead_end = ref false in
+  (try
+     for _step = 1 to total do
+       if Budget.expired budget then begin
+         timeout := true;
+         raise Exit
+       end;
+       (* Score every feasible successor: marginal cost plus the bound on
+          the rest; commit to the best without backtracking. *)
+       let best = ref (-1) and best_score = ref infinity in
+       for a = 0 to n_types - 1 do
+         if v.(a) < counts.(a) then begin
+           let block = task.Task.blocks_by_type.(a).(v.(a)) in
+           v.(a) <- v.(a) + 1;
+           incr generated;
+           let feasible =
+             Cache.check cache checker ~last_type:a ~last_block:block v
+           in
+           if feasible then begin
+             remaining.(a) <- remaining.(a) - 1;
+             let score =
+               Cost.step ~alpha ?weights ~last:!last a
+               +. Cost.heuristic_with_last ~alpha ?weights ~last:(Some a)
+                    remaining
+             in
+             remaining.(a) <- remaining.(a) + 1;
+             if score < !best_score then begin
+               best_score := score;
+               best := a
+             end
+           end;
+           v.(a) <- v.(a) - 1
+         end
+       done;
+       if !best < 0 then begin
+         dead_end := true;
+         raise Exit
+       end;
+       let a = !best in
+       v.(a) <- v.(a) + 1;
+       remaining.(a) <- remaining.(a) - 1;
+       rev_types := a :: !rev_types;
+       last := Some a;
+       incr expanded
+     done
+   with Exit -> ());
+  let stats =
+    {
+      Planner.expanded = !expanded;
+      generated = !generated;
+      sat_checks = Constraint.checks_performed checker;
+      cache_hits = Cache.hits cache;
+      elapsed = Kutil.Timer.now () -. started;
+    }
+  in
+  let plan_of rev_types =
+    let next = Array.make n_types 0 in
+    let blocks =
+      List.rev_map
+        (fun a ->
+          let b = task.Task.blocks_by_type.(a).(next.(a)) in
+          next.(a) <- next.(a) + 1;
+          b)
+        (List.rev rev_types)
+    in
+    Plan.make task (List.rev blocks)
+  in
+  if !timeout then
+    { Planner.planner = name; outcome = Planner.Timeout None; stats }
+  else if !dead_end then
+    { Planner.planner = name; outcome = Planner.Infeasible; stats }
+  else
+    {
+      Planner.planner = name;
+      outcome = Planner.Found (plan_of !rev_types);
+      stats;
+    }

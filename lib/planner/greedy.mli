@@ -1,0 +1,17 @@
+(** Score-guided greedy planner.
+
+    §7.3 describes using a pre-trained GNN "to score candidate actions and
+    guide the A* search process"; this is the classical skeleton of that
+    idea with the admissible Eq. 9 bound as the scoring function and no
+    backtracking: at every state, commit to the feasible successor with
+    the best score.
+
+    One satisfiability check per candidate per step — O(|L|·|A|) checks
+    total, the cheapest planner here — but no optimality guarantee and it
+    can dead-end in states A* would have avoided (exactly the reliability
+    obstacle §7.3 reports for learned guidance). *)
+
+val name : string
+(** ["Guided greedy"] *)
+
+val plan : ?config:Planner.config -> Task.t -> Planner.result

@@ -1,0 +1,23 @@
+(** The Janus baseline \[4\]: symmetry-based planning of network changes.
+
+    Per §6.1 we define Janus' superblocks to be Klotski's operation
+    blocks, so it searches the same block space.  Following the paper's
+    analysis of why Janus is slower (§6.2), this reproduction keeps its
+    three structural handicaps:
+
+    + it preprocesses the available action combinations (a satisfiability
+      probe per prefix of every action type) before searching;
+    + it lacks the ordering-agnostic equivalence of §4.2, so every state
+      generation re-runs the full satisfiability check (no cache table);
+    + it has no informed priority and no early exit: the whole reachable
+      cost-bounded space is traversed (uniform-cost order) before the
+      plan is read off the target.
+
+    Janus assumes the symmetry structure is unchanged by the migration,
+    which fails for migrations that add a layer (DMAG): those tasks are
+    rejected, matching the crosses of Figure 9. *)
+
+val name : string
+(** ["Janus"] *)
+
+val plan : ?config:Planner.config -> Task.t -> Planner.result

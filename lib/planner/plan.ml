@@ -1,0 +1,66 @@
+type t = {
+  blocks : int list;
+  types : int list;
+  cost : float;
+  runs : (int * int) list;
+}
+
+let make (task : Task.t) blocks =
+  let n = Array.length task.Task.blocks in
+  List.iter
+    (fun b ->
+      if b < 0 || b >= n then invalid_arg "Plan.make: unknown block id")
+    blocks;
+  let types = List.map (Task.block_type task) blocks in
+  {
+    blocks;
+    types;
+    cost =
+      Cost.sequence ~alpha:task.Task.alpha ?weights:task.Task.type_weights
+        types;
+    runs = Cost.runs types;
+  }
+
+let length p = List.length p.blocks
+
+let validate task p =
+  match Constraint.check_plan task p.blocks with
+  | Error _ as e -> e
+  | Ok replay_cost ->
+      if Float.abs (replay_cost -. p.cost) > 1e-9 then
+        Error
+          (Printf.sprintf "recorded cost %g differs from replayed cost %g"
+             p.cost replay_cost)
+      else Ok ()
+
+let states (task : Task.t) p =
+  let v = Compact.origin task.Task.actions in
+  let _, rev =
+    List.fold_left
+      (fun (v, acc) a ->
+        let v' = Compact.succ v a in
+        (v', v' :: acc))
+      (v, [])
+      p.types
+  in
+  List.rev rev
+
+let pp (task : Task.t) fmt p =
+  Format.fprintf fmt "@[<v>plan: cost %g, %d steps in %d phases@," p.cost
+    (length p) (List.length p.runs);
+  let step = ref 0 in
+  List.iteri
+    (fun i (a, k) ->
+      let blocks =
+        List.filteri (fun j _ -> j >= !step && j < !step + k) p.blocks
+      in
+      step := !step + k;
+      Format.fprintf fmt "  phase %d: %s x%d  [%s]@," (i + 1)
+        (Action.to_string (Action.Set.get task.Task.actions a))
+        k
+        (String.concat "; "
+           (List.map
+              (fun b -> task.Task.blocks.(b).Blocks.label)
+              blocks)))
+    p.runs;
+  Format.fprintf fmt "@]"

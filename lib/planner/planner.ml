@@ -1,0 +1,43 @@
+type config = { budget_seconds : float option; use_cache : bool }
+
+let default_config = { budget_seconds = Some 120.0; use_cache = true }
+
+let with_budget budget_seconds = { default_config with budget_seconds }
+
+type stats = {
+  expanded : int;
+  generated : int;
+  sat_checks : int;
+  cache_hits : int;
+  elapsed : float;
+}
+
+type outcome =
+  | Found of Plan.t
+  | Infeasible
+  | Timeout of Plan.t option
+  | Unsupported of string
+
+type result = { planner : string; outcome : outcome; stats : stats }
+
+let cost_of r =
+  match r.outcome with
+  | Found p | Timeout (Some p) -> Some p.Plan.cost
+  | Infeasible | Timeout None | Unsupported _ -> None
+
+let is_optimal_capable name = name <> "MRC"
+
+let pp_result fmt r =
+  let outcome =
+    match r.outcome with
+    | Found p -> Printf.sprintf "plan found, cost %g" p.Plan.cost
+    | Infeasible -> "infeasible"
+    | Timeout (Some p) ->
+        Printf.sprintf "timeout (best cost so far %g)" p.Plan.cost
+    | Timeout None -> "timeout (no plan found)"
+    | Unsupported why -> Printf.sprintf "unsupported: %s" why
+  in
+  Format.fprintf fmt
+    "%s: %s  [expanded %d, generated %d, checks %d, cache hits %d, %.3fs]"
+    r.planner outcome r.stats.expanded r.stats.generated r.stats.sat_checks
+    r.stats.cache_hits r.stats.elapsed

@@ -1,0 +1,47 @@
+(** Common planner interface: configuration, statistics and outcomes.
+
+    Every planner takes a {!Task.t} and a {!config} and returns a
+    {!result}.  The paper caps all planners at 24 hours; [budget_seconds]
+    reproduces that cutoff at a laptop-friendly default. *)
+
+type config = {
+  budget_seconds : float option;
+      (** Wall-clock budget; [None] is unlimited.  Exhausting it yields
+          [Timeout] — the crosses of Figures 9–11. *)
+  use_cache : bool;
+      (** Efficient satisfiability checking (the cache table T{_c} of
+          §4.2).  [false] reproduces the "Klotski w/o ESC" ablation. *)
+}
+
+val default_config : config
+(** 120-second budget, cache enabled. *)
+
+val with_budget : float option -> config
+(** {!default_config} with another budget. *)
+
+type stats = {
+  expanded : int;  (** States popped / steps committed. *)
+  generated : int;  (** Candidate states examined. *)
+  sat_checks : int;  (** Full (uncached) satisfiability checks. *)
+  cache_hits : int;  (** Checks answered by the cache table. *)
+  elapsed : float;  (** Planning wall-clock seconds. *)
+}
+
+type outcome =
+  | Found of Plan.t  (** An optimal (or, for MRC, greedy) plan. *)
+  | Infeasible  (** Proven: no action sequence satisfies the constraints. *)
+  | Timeout of Plan.t option  (** Budget exhausted; best plan found so far. *)
+  | Unsupported of string
+      (** The planner cannot handle this migration type (MRC and Janus on
+          topology-changing migrations, §6.3). *)
+
+type result = { planner : string; outcome : outcome; stats : stats }
+
+val cost_of : result -> float option
+(** The cost of the plan carried by the outcome, if any. *)
+
+val is_optimal_capable : string -> bool
+(** Whether the named planner guarantees optimality when it terminates
+    (every planner here except ["MRC"]). *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,56 @@
+type row = {
+  step : int;
+  phase : int;
+  label : string;
+  max_util : float;
+  headroom : float;
+}
+
+let rows (task : Task.t) (plan : Plan.t) =
+  let ck = Constraint.create task in
+  let phase_of = Array.make (Plan.length plan) 0 in
+  let step = ref 0 in
+  List.iteri
+    (fun i (_, k) ->
+      for _ = 1 to k do
+        phase_of.(!step) <- i + 1;
+        incr step
+      done)
+    plan.Plan.runs;
+  List.mapi
+    (fun i (v, block) ->
+      Constraint.move_to ck v;
+      let summary = Constraint.evaluate_current ck in
+      {
+        step = i + 1;
+        phase = phase_of.(i);
+        label = task.Task.blocks.(block).Blocks.label;
+        max_util = summary.Constraint.max_util;
+        headroom = task.Task.theta -. summary.Constraint.max_util;
+      })
+    (List.combine (Plan.states task plan) plan.Plan.blocks)
+
+let gauge ~width ~theta util =
+  let filled =
+    int_of_float (Float.round (float_of_int width *. util /. theta))
+  in
+  let filled = max 0 (min width filled) in
+  "[" ^ String.make filled '#' ^ String.make (width - filled) '.' ^ "]"
+
+let render ?(width = 24) (task : Task.t) (plan : Plan.t) =
+  let buf = Buffer.create 1024 in
+  let label_width =
+    List.fold_left
+      (fun acc b ->
+        max acc (String.length task.Task.blocks.(b).Blocks.label))
+      0 plan.Plan.blocks
+  in
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "step %3d | phase %2d | %-*s | %s %3.0f%% of theta\n"
+           r.step r.phase label_width r.label
+           (gauge ~width ~theta:task.Task.theta r.max_util)
+           (100.0 *. r.max_util /. task.Task.theta)))
+    (rows task plan);
+  Buffer.contents buf

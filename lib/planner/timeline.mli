@@ -1,0 +1,27 @@
+(** Textual timeline of a migration plan.
+
+    Renders each step with the utilization gauge of the topology state it
+    produces — the at-a-glance safety picture operators review before
+    signing off on a plan (§7.2's audits, in human-readable form):
+
+    {v
+    step  1 | phase 1 | undrain hgrid-v2/mesh1/block0 | [#####...............]  26% of theta
+    step  2 | phase 1 | undrain hgrid-v2/mesh1/block1 | [####................]  22% of theta
+    ...
+    v} *)
+
+type row = {
+  step : int;  (** 1-based step index. *)
+  phase : int;  (** 1-based phase (run) index. *)
+  label : string;  (** The operated block. *)
+  max_util : float;  (** Hottest circuit after the step. *)
+  headroom : float;  (** θ − max_util. *)
+}
+
+val rows : Task.t -> Plan.t -> row list
+(** Walk the plan through a fresh checker, evaluating every intermediate
+    state. *)
+
+val render : ?width:int -> Task.t -> Plan.t -> string
+(** Human-readable table with per-step utilization gauges scaled to the
+    task's θ ([width] columns per gauge, default 24). *)

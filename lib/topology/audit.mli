@@ -1,0 +1,31 @@
+(** Structural audits of generated topologies.
+
+    The generators encode many invariants (every RSW has exactly four FSW
+    uplinks, every SSW reaches every grid exactly once, port budgets cover
+    the original degree, the usable graph is connected…).  This module
+    checks them explicitly so that generator changes cannot silently
+    produce degenerate universes — the audit runs in the test suite and
+    behind `klotski info`. *)
+
+type finding = {
+  severity : [ `Error | `Warning ];
+  subject : string;  (** Switch/circuit name or group. *)
+  message : string;
+}
+
+val pp_finding : Format.formatter -> finding -> unit
+
+val scenario : Gen.scenario -> finding list
+(** Audit a generated scenario.  Checks:
+
+    - every switch's original usable degree is within its port budget;
+    - every RSW has exactly [4 × link_mult] uplinks;
+    - every active SSW has exactly one circuit into every active grid;
+    - the original usable graph connects every RSW to every EBB;
+    - the target state (drains applied, future elements onboarded) is
+      connected and port-feasible too;
+    - drain/undrain scopes are disjoint and non-empty as the migration
+      kind requires. *)
+
+val is_clean : finding list -> bool
+(** No [`Error]-severity findings. *)

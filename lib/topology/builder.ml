@@ -1,0 +1,92 @@
+type pending_switch = { sw : Switch.t; future : bool }
+type pending_circuit = { ci : Circuit.t; cfuture : bool }
+
+type t = {
+  mutable rev_switches : pending_switch list;
+  mutable rev_circuits : pending_circuit list;
+  mutable n_switches : int;
+  mutable n_circuits : int;
+  names : (string, unit) Hashtbl.t;
+  ranks : (int, int) Hashtbl.t; (* switch id -> rank, for circuit orientation *)
+  futures : (int, bool) Hashtbl.t; (* switch id -> future flag *)
+}
+
+let create () =
+  {
+    rev_switches = [];
+    rev_circuits = [];
+    n_switches = 0;
+    n_circuits = 0;
+    names = Hashtbl.create 64;
+    ranks = Hashtbl.create 64;
+    futures = Hashtbl.create 64;
+  }
+
+let add_switch t ~name ~role ?(generation = 1) ?(dc = -1) ?(pod = -1)
+    ?(plane = -1) ?(index = 0) ?(future = false) ~max_ports () =
+  if Hashtbl.mem t.names name then
+    invalid_arg (Printf.sprintf "Builder.add_switch: duplicate name %S" name);
+  Hashtbl.add t.names name ();
+  let id = t.n_switches in
+  let sw =
+    Switch.make ~id ~name ~role ~generation ~dc ~pod ~plane ~index ~max_ports ()
+  in
+  t.rev_switches <- { sw; future } :: t.rev_switches;
+  t.n_switches <- id + 1;
+  Hashtbl.add t.ranks id (Switch.rank role);
+  Hashtbl.add t.futures id future;
+  id
+
+let add_circuit t ~lo ~hi ?(future = false) ~capacity () =
+  let rank s =
+    match Hashtbl.find_opt t.ranks s with
+    | Some r -> r
+    | None -> invalid_arg "Builder.add_circuit: unknown switch id"
+  in
+  let rlo = rank lo and rhi = rank hi in
+  if rlo = rhi then
+    invalid_arg "Builder.add_circuit: endpoints must be on different layers";
+  let lo, hi = if rlo < rhi then (lo, hi) else (hi, lo) in
+  let id = t.n_circuits in
+  let ci = Circuit.make ~id ~lo ~hi ~capacity in
+  let cfuture =
+    future || Hashtbl.find t.futures lo || Hashtbl.find t.futures hi
+  in
+  t.rev_circuits <- { ci; cfuture } :: t.rev_circuits;
+  t.n_circuits <- id + 1;
+  id
+
+let connect_all t ~los ~his ?(future = false) ~capacity () =
+  List.concat_map
+    (fun lo -> List.map (fun hi -> add_circuit t ~lo ~hi ~future ~capacity ()) his)
+    los
+
+let switch_count t = t.n_switches
+let circuit_count t = t.n_circuits
+
+let future_switches t =
+  List.rev
+    (List.filter_map
+       (fun p -> if p.future then Some p.sw.Switch.id else None)
+       (List.rev t.rev_switches))
+
+let future_circuits t =
+  List.rev
+    (List.filter_map
+       (fun p -> if p.cfuture then Some p.ci.Circuit.id else None)
+       (List.rev t.rev_circuits))
+
+let freeze t =
+  let switches =
+    Array.of_list (List.rev_map (fun p -> p.sw) t.rev_switches)
+  in
+  let circuits =
+    Array.of_list (List.rev_map (fun p -> p.ci) t.rev_circuits)
+  in
+  let topo = Topo.create ~switches ~circuits in
+  (* Deactivate future circuits first so switch toggles do not double-count
+     usable transitions (set_* are idempotent either way, but this keeps the
+     transition count minimal). *)
+  List.iter (fun j -> Topo.set_circuit_active topo j false) (future_circuits t);
+  List.iter (fun i -> Topo.set_switch_active topo i false) (future_switches t);
+  topo

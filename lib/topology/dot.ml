@@ -1,0 +1,75 @@
+let escape name =
+  String.map (fun c -> if c = '/' || c = '-' then '_' else c) name
+
+let switch_attrs topo (s : Switch.t) =
+  let shape =
+    match s.Switch.role with
+    | Switch.RSW -> "box"
+    | Switch.FSW | Switch.SSW -> "ellipse"
+    | Switch.FADU | Switch.FAUU -> "hexagon"
+    | Switch.MA -> "diamond"
+    | Switch.EB | Switch.DR | Switch.EBB -> "doubleoctagon"
+  in
+  if Topo.switch_active topo s.Switch.id then
+    Printf.sprintf "shape=%s" shape
+  else Printf.sprintf "shape=%s style=dashed color=grey60 fontcolor=grey60" shape
+
+let circuit_color ?loads topo (c : Circuit.t) =
+  if not (Topo.usable topo c.Circuit.id) then "grey80"
+  else
+    match loads with
+    | None -> "black"
+    | Some loads ->
+        let util = loads.(c.Circuit.id) /. c.Circuit.capacity in
+        if util < 0.5 then "forestgreen"
+        else if util < 0.75 then "orange"
+        else "red"
+
+let to_dot ?roles ?loads ?(max_switches = 400) topo =
+  let keep (s : Switch.t) =
+    match roles with
+    | None -> true
+    | Some rs -> List.mem s.Switch.role rs
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph topology {\n";
+  Buffer.add_string buf "  rankdir=BT;\n  node [fontsize=9];\n";
+  let included = Hashtbl.create 256 in
+  let count = ref 0 in
+  let truncated = ref false in
+  Array.iter
+    (fun (s : Switch.t) ->
+      if keep s then begin
+        if !count < max_switches then begin
+          incr count;
+          Hashtbl.replace included s.Switch.id ();
+          Buffer.add_string buf
+            (Printf.sprintf "  %s [%s];\n" (escape s.Switch.name)
+               (switch_attrs topo s))
+        end
+        else truncated := true
+      end)
+    (Topo.switches topo);
+  Array.iter
+    (fun (c : Circuit.t) ->
+      if Hashtbl.mem included c.Circuit.lo && Hashtbl.mem included c.Circuit.hi
+      then
+        Buffer.add_string buf
+          (Printf.sprintf "  %s -> %s [color=%s arrowhead=none];\n"
+             (escape (Topo.switch topo c.Circuit.lo).Switch.name)
+             (escape (Topo.switch topo c.Circuit.hi).Switch.name)
+             (circuit_color ?loads topo c)))
+    (Topo.circuits topo);
+  if !truncated then
+    Buffer.add_string buf
+      (Printf.sprintf "  // truncated to %d switches\n" max_switches);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file ?roles ?loads ?max_switches path topo =
+  match
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc (to_dot ?roles ?loads ?max_switches topo))
+  with
+  | () -> Ok ()
+  | exception Sys_error e -> Error e

@@ -1,0 +1,30 @@
+(** Graphviz export of topology states.
+
+    Renders a topology (or a layer slice of it) as a [dot] digraph for
+    inspection of migration states: drained switches come out dashed-grey,
+    onboarded ones solid, circuits colored by utilization when loads are
+    supplied.  Large production topologies are unreadable in full, so the
+    export can be restricted to roles (e.g. just the SSW/FADU/FAUU/EB
+    layers a migration touches). *)
+
+val to_dot :
+  ?roles:Switch.role list ->
+  ?loads:float array ->
+  ?max_switches:int ->
+  Topo.t ->
+  string
+(** [to_dot topo] renders the usable subgraph plus inactive elements.
+
+    - [roles] restricts to switches of the given roles (default: all);
+    - [loads] (indexed by circuit id) colors circuits by utilization:
+      green < 50%, orange < 75%, red above;
+    - [max_switches] truncates huge exports (default 400) — a comment in
+      the output notes the truncation. *)
+
+val write_file :
+  ?roles:Switch.role list ->
+  ?loads:float array ->
+  ?max_switches:int ->
+  string ->
+  Topo.t ->
+  (unit, string) result

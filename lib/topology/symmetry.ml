@@ -1,0 +1,49 @@
+type block = { members : int list; role : Switch.role; generation : int }
+
+(* The equivalence signature of a switch: its role, generation and the
+   sorted list of (neighbor id, capacity) over every incident circuit of
+   the universe.  Switches with equal signatures connect to the same hosts
+   with the same capacities, hence are interchangeable in any plan. *)
+let signature topo s =
+  let sw = Topo.switch topo s in
+  let neighbors = ref [] in
+  let note j =
+    let c = Topo.circuit topo j in
+    neighbors := (Circuit.other_end c s, c.Circuit.capacity) :: !neighbors
+  in
+  Array.iter note (Topo.up_circuits topo s);
+  Array.iter note (Topo.down_circuits topo s);
+  let sorted = List.sort compare !neighbors in
+  (sw.Switch.role, sw.Switch.generation, sorted)
+
+let blocks topo ~scope =
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      let key = signature topo s in
+      let previous =
+        match Hashtbl.find_opt table key with Some l -> l | None -> []
+      in
+      Hashtbl.replace table key (s :: previous))
+    scope;
+  let result =
+    Hashtbl.fold
+      (fun (role, generation, _) members acc ->
+        { members = List.sort compare members; role; generation } :: acc)
+      table []
+  in
+  List.sort
+    (fun a b ->
+      match (a.members, b.members) with
+      | x :: _, y :: _ -> compare x y
+      | _ -> 0 (* blocks are never empty by construction *))
+    result
+
+let max_block_size bs =
+  List.fold_left (fun acc b -> max acc (List.length b.members)) 0 bs
+
+let pp_block fmt b =
+  Format.fprintf fmt "%s g%d {%s}"
+    (Switch.role_to_string b.role)
+    b.generation
+    (String.concat ", " (List.map string_of_int b.members))

@@ -1,0 +1,207 @@
+module Bitset = Kutil.Bitset
+
+type t = {
+  switches : Switch.t array;
+  circuits : Circuit.t array;
+  up : int array array;
+  down : int array array;
+  switch_active : Bitset.t;
+  circuit_active : Bitset.t;
+  usable_set : Bitset.t;  (* circuit flag AND both endpoints active *)
+  usable_deg : int array;
+  mutable usable_count : int;
+  mutable port_violations : int;
+  mutable name_index : (string, int) Hashtbl.t option;
+}
+
+let validate switches circuits =
+  Array.iteri
+    (fun i (s : Switch.t) ->
+      if s.Switch.id <> i then invalid_arg "Topo.create: switch id mismatch")
+    switches;
+  Array.iteri
+    (fun j (c : Circuit.t) ->
+      if c.Circuit.id <> j then invalid_arg "Topo.create: circuit id mismatch";
+      let n = Array.length switches in
+      if c.lo < 0 || c.lo >= n || c.hi < 0 || c.hi >= n then
+        invalid_arg "Topo.create: circuit endpoint out of range";
+      let rlo = Switch.rank switches.(c.lo).role
+      and rhi = Switch.rank switches.(c.hi).role in
+      if rlo >= rhi then
+        invalid_arg "Topo.create: circuit endpoints must go lower->higher rank")
+    circuits
+
+let create ~switches ~circuits =
+  validate switches circuits;
+  let n = Array.length switches and m = Array.length circuits in
+  let up_count = Array.make n 0 and down_count = Array.make n 0 in
+  Array.iter
+    (fun (c : Circuit.t) ->
+      up_count.(c.lo) <- up_count.(c.lo) + 1;
+      down_count.(c.hi) <- down_count.(c.hi) + 1)
+    circuits;
+  let up = Array.init n (fun i -> Array.make up_count.(i) (-1)) in
+  let down = Array.init n (fun i -> Array.make down_count.(i) (-1)) in
+  let up_fill = Array.make n 0 and down_fill = Array.make n 0 in
+  Array.iter
+    (fun (c : Circuit.t) ->
+      up.(c.lo).(up_fill.(c.lo)) <- c.id;
+      up_fill.(c.lo) <- up_fill.(c.lo) + 1;
+      down.(c.hi).(down_fill.(c.hi)) <- c.id;
+      down_fill.(c.hi) <- down_fill.(c.hi) + 1)
+    circuits;
+  let usable_deg = Array.make n 0 in
+  Array.iter
+    (fun (c : Circuit.t) ->
+      usable_deg.(c.lo) <- usable_deg.(c.lo) + 1;
+      usable_deg.(c.hi) <- usable_deg.(c.hi) + 1)
+    circuits;
+  let port_violations = ref 0 in
+  Array.iteri
+    (fun i (s : Switch.t) ->
+      if usable_deg.(i) > s.max_ports then incr port_violations)
+    switches;
+  {
+    switches;
+    circuits;
+    up;
+    down;
+    switch_active = Bitset.create_full n;
+    circuit_active = Bitset.create_full m;
+    usable_set = Bitset.create_full m;
+    usable_deg;
+    usable_count = m;
+    port_violations = !port_violations;
+    name_index = None;
+  }
+
+let copy t =
+  {
+    t with
+    switch_active = Bitset.copy t.switch_active;
+    circuit_active = Bitset.copy t.circuit_active;
+    usable_set = Bitset.copy t.usable_set;
+    usable_deg = Array.copy t.usable_deg;
+  }
+
+let n_switches t = Array.length t.switches
+let n_circuits t = Array.length t.circuits
+let switch t i = t.switches.(i)
+let circuit t j = t.circuits.(j)
+let switches t = t.switches
+let circuits t = t.circuits
+let up_circuits t s = t.up.(s)
+let down_circuits t s = t.down.(s)
+
+let find_switch t name =
+  let index =
+    match t.name_index with
+    | Some idx -> idx
+    | None ->
+        let idx = Hashtbl.create (Array.length t.switches) in
+        Array.iter (fun (s : Switch.t) -> Hashtbl.replace idx s.name s.id)
+          t.switches;
+        t.name_index <- Some idx;
+        idx
+  in
+  match Hashtbl.find_opt index name with
+  | Some i -> Some t.switches.(i)
+  | None -> None
+
+let switch_active t i = Bitset.mem t.switch_active i
+let circuit_active t j = Bitset.mem t.circuit_active j
+
+let usable t j = Bitset.mem t.usable_set j
+
+(* Adjust the usable degree of [s] by [delta], keeping the violation count
+   in sync with the switch's port limit crossing. *)
+let bump_degree t s delta =
+  let limit = t.switches.(s).max_ports in
+  let before = t.usable_deg.(s) in
+  let after = before + delta in
+  t.usable_deg.(s) <- after;
+  if before <= limit && after > limit then
+    t.port_violations <- t.port_violations + 1
+  else if before > limit && after <= limit then
+    t.port_violations <- t.port_violations - 1
+
+let mark_usable t (c : Circuit.t) present =
+  let delta = if present then 1 else -1 in
+  t.usable_count <- t.usable_count + delta;
+  Bitset.set t.usable_set c.id present;
+  bump_degree t c.lo delta;
+  bump_degree t c.hi delta
+
+let set_circuit_active t j active =
+  if Bitset.mem t.circuit_active j <> active then begin
+    let c = t.circuits.(j) in
+    let endpoints_up =
+      Bitset.mem t.switch_active c.lo && Bitset.mem t.switch_active c.hi
+    in
+    Bitset.set t.circuit_active j active;
+    if endpoints_up then mark_usable t c active
+  end
+
+let set_switch_active t i active =
+  if Bitset.mem t.switch_active i <> active then begin
+    (* A circuit's usability flips with this toggle iff the circuit flag and
+       the *other* endpoint are already up. *)
+    let affect j =
+      if Bitset.mem t.circuit_active j then begin
+        let c = t.circuits.(j) in
+        let other = Circuit.other_end c i in
+        if Bitset.mem t.switch_active other then mark_usable t c active
+      end
+    in
+    Bitset.set t.switch_active i active;
+    Array.iter affect t.up.(i);
+    Array.iter affect t.down.(i)
+  end
+
+let active_switch_count t = Bitset.cardinal t.switch_active
+let active_circuit_count t = Bitset.cardinal t.circuit_active
+let usable_circuit_count t = t.usable_count
+let usable_degree t s = t.usable_deg.(s)
+let ports_ok t = t.port_violations = 0
+let port_violation_count t = t.port_violations
+
+let usable_capacity_between t ra rb =
+  let total = ref 0.0 in
+  Array.iter
+    (fun (c : Circuit.t) ->
+      if usable t c.id then begin
+        let rlo = t.switches.(c.lo).role and rhi = t.switches.(c.hi).role in
+        if (rlo = ra && rhi = rb) || (rlo = rb && rhi = ra) then
+          total := !total +. c.capacity
+      end)
+    t.circuits;
+  !total
+
+let reachable t ~from =
+  let n = Array.length t.switches in
+  let seen = Bitset.create n in
+  let queue = Queue.create () in
+  let enqueue s =
+    if Bitset.mem t.switch_active s && not (Bitset.mem seen s) then begin
+      Bitset.add seen s;
+      Queue.add s queue
+    end
+  in
+  List.iter enqueue from;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    let visit j = if usable t j then enqueue (Circuit.other_end t.circuits.(j) s) in
+    Array.iter visit t.up.(s);
+    Array.iter visit t.down.(s)
+  done;
+  seen
+
+let connected t ~src ~dst =
+  let seen = reachable t ~from:src in
+  List.exists (fun d -> Bitset.mem seen d) dst
+
+let pp_summary fmt t =
+  Format.fprintf fmt
+    "topology: %d switches (%d active), %d circuits (%d active, %d usable)"
+    (n_switches t) (active_switch_count t) (n_circuits t)
+    (active_circuit_count t) t.usable_count

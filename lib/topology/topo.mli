@@ -1,0 +1,101 @@
+(** The mutable DCN topology: a layered multigraph of switches and circuits
+    with activity flags.
+
+    A topology holds the {e universe} of a migration: every switch and
+    circuit of both the original and the target networks.  Switches and
+    circuits that exist in the current network state are {e active};
+    draining deactivates, onboarding (undraining) activates.  A circuit is
+    {e usable} only when its own flag and both endpoints are active — this
+    is how inter-DC circuits become "effectively lost" when the far end is
+    down (§2.2, "consider multiple DCs").
+
+    The structure maintains, incrementally under toggles, the usable degree
+    of every switch and the number of port-constraint violations, so the
+    port check of Eq. 6 is O(1) per state. *)
+
+type t
+
+val create : switches:Switch.t array -> circuits:Circuit.t array -> t
+(** [create ~switches ~circuits] builds a topology where everything is
+    initially active.  [switches.(i).id] must equal [i] and
+    [circuits.(j).id] must equal [j]; endpoints must have different
+    {!Switch.rank}.  Raises [Invalid_argument] otherwise. *)
+
+val copy : t -> t
+(** Deep copy: activity flags and caches are independent of the source. *)
+
+(** {1 Static structure} *)
+
+val n_switches : t -> int
+val n_circuits : t -> int
+
+val switch : t -> int -> Switch.t
+(** [switch t i] is the switch with id [i]. *)
+
+val circuit : t -> int -> Circuit.t
+(** [circuit t j] is the circuit with id [j]. *)
+
+val switches : t -> Switch.t array
+(** The underlying switch array (do not mutate). *)
+
+val circuits : t -> Circuit.t array
+(** The underlying circuit array (do not mutate). *)
+
+val up_circuits : t -> int -> int array
+(** [up_circuits t s] are ids of circuits whose [lo] endpoint is [s]
+    (toward higher layers).  Internal array: do not mutate. *)
+
+val down_circuits : t -> int -> int array
+(** [down_circuits t s] are ids of circuits whose [hi] endpoint is [s]. *)
+
+val find_switch : t -> string -> Switch.t option
+(** Look a switch up by name (O(1) after the first call). *)
+
+(** {1 Activity} *)
+
+val switch_active : t -> int -> bool
+val circuit_active : t -> int -> bool
+
+val usable : t -> int -> bool
+(** [usable t c] is [circuit_active t c] and both endpoints active. *)
+
+val set_switch_active : t -> int -> bool -> unit
+(** Toggle a switch, updating usable degrees and port-violation counts of
+    every incident circuit.  Idempotent. *)
+
+val set_circuit_active : t -> int -> bool -> unit
+(** Toggle a circuit.  Idempotent. *)
+
+val active_switch_count : t -> int
+val active_circuit_count : t -> int
+
+val usable_circuit_count : t -> int
+(** Number of circuits that are currently usable. *)
+
+val usable_degree : t -> int -> int
+(** [usable_degree t s] is the number of usable circuits incident to [s]
+    — the ports in use on [s]. *)
+
+val ports_ok : t -> bool
+(** [ports_ok t] is [true] iff no active switch uses more ports than its
+    [max_ports] (the port constraints, Eq. 6). *)
+
+val port_violation_count : t -> int
+(** Number of active switches currently violating their port constraint. *)
+
+(** {1 Analysis} *)
+
+val usable_capacity_between : t -> Switch.role -> Switch.role -> float
+(** Total capacity (Tbps) of usable circuits whose endpoints have the two
+    given roles (in either order). *)
+
+val reachable : t -> from:int list -> Kutil.Bitset.t
+(** [reachable t ~from] marks every switch reachable from [from] along
+    usable circuits (both directions). *)
+
+val connected : t -> src:int list -> dst:int list -> bool
+(** [connected t ~src ~dst] is [true] iff some usable path links a source
+    to a destination. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-line summary: switch/circuit counts and activity. *)

@@ -1,0 +1,21 @@
+type endpoint = Rsws_of_dc of int | Rsws_except_dc of int | Backbone
+
+type t = { name : string; src : endpoint; dst : endpoint; volume : float }
+
+let endpoint_to_string = function
+  | Rsws_of_dc i -> Printf.sprintf "rsws(dc%d)" i
+  | Rsws_except_dc i -> Printf.sprintf "rsws(dc!=%d)" i
+  | Backbone -> "backbone"
+
+let make ~name ~src ~dst ~volume =
+  if volume < 0.0 then invalid_arg "Demand.make: negative volume";
+  if src = dst then invalid_arg "Demand.make: source equals destination";
+  { name; src; dst; volume }
+
+let scale f d = { d with volume = d.volume *. f }
+
+let total_volume ds = List.fold_left (fun acc d -> acc +. d.volume) 0.0 ds
+
+let pp fmt d =
+  Format.fprintf fmt "%s: %s->%s %.2f Tbps" d.name
+    (endpoint_to_string d.src) (endpoint_to_string d.dst) d.volume

@@ -1,0 +1,241 @@
+module Bitset = Kutil.Bitset
+
+type hop = {
+  dir : [ `Up | `Down ];
+  accept : Switch.t -> bool;
+  skip : Switch.t -> bool;
+}
+
+let hop ?(skip = fun _ -> false) dir accept = { dir; accept; skip }
+
+(* Candidate circuits for one stage, with their traversal endpoints
+   flattened into parallel arrays so the hot loops touch no records. *)
+type cstage = {
+  circuits : int array;
+  prevs : int array;  (* upstream endpoint of circuits.(i) at this stage *)
+  nexts : int array;  (* downstream endpoint *)
+  skip_switches : int array;
+}
+
+type compiled = {
+  sources : (int * float) array;
+  stages : cstage array;
+  volume : float;
+}
+
+let compile topo ~sources ~hops =
+  let n = Topo.n_switches topo in
+  let potential = Bitset.create n in
+  List.iter (fun (s, v) -> if v > 0.0 then Bitset.add potential s) sources;
+  let compile_hop h =
+    let candidates = ref [] in
+    let next_potential = Bitset.create n in
+    let skips = ref [] in
+    (* Fold the accept filter and the reachable-from-sources set into a
+       static candidate circuit list: evaluation never scans the rest of
+       the universe. *)
+    for j = 0 to Topo.n_circuits topo - 1 do
+      let c = Topo.circuit topo j in
+      let prev, next =
+        match h.dir with
+        | `Up -> (c.Circuit.lo, c.Circuit.hi)
+        | `Down -> (c.Circuit.hi, c.Circuit.lo)
+      in
+      if Bitset.mem potential prev && h.accept (Topo.switch topo next) then begin
+        candidates := (j, prev, next) :: !candidates;
+        Bitset.add next_potential next
+      end
+    done;
+    Bitset.iter
+      (fun s ->
+        if h.skip (Topo.switch topo s) then begin
+          skips := s :: !skips;
+          Bitset.add next_potential s
+        end)
+      potential;
+    let triples = Array.of_list (List.rev !candidates) in
+    let stage =
+      {
+        circuits = Array.map (fun (j, _, _) -> j) triples;
+        prevs = Array.map (fun (_, p, _) -> p) triples;
+        nexts = Array.map (fun (_, _, n) -> n) triples;
+        skip_switches = Array.of_list (List.rev !skips);
+      }
+    in
+    Bitset.clear potential;
+    Bitset.iter (Bitset.add potential) next_potential;
+    stage
+  in
+  let stages = Array.of_list (List.map compile_hop hops) in
+  {
+    sources = Array.of_list (List.filter (fun (_, v) -> v > 0.0) sources);
+    stages;
+    volume = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 sources;
+  }
+
+let source_volume c = c.volume
+
+let stage_circuit_count c =
+  Array.fold_left (fun acc s -> acc + Array.length s.circuits) 0 c.stages
+
+(* Growable scratch vector of switch ids. *)
+module Ivec = struct
+  type t = { mutable data : int array; mutable len : int }
+
+  let create () = { data = Array.make 64 0; len = 0 }
+
+  let push v x =
+    if v.len = Array.length v.data then begin
+      let data = Array.make (2 * v.len) 0 in
+      Array.blit v.data 0 data 0 v.len;
+      v.data <- data
+    end;
+    v.data.(v.len) <- x;
+    v.len <- v.len + 1
+
+  let clear v = v.len <- 0
+end
+
+type scratch = {
+  vol : float array;  (* per switch, zero outside [touched] *)
+  nvol : float array;
+  cand : int array;  (* per switch: -1 skip marker, else candidate count *)
+  candw : float array;  (* total qualifying capacity, for weighted split *)
+  touched : Ivec.t;
+  ntouched : Ivec.t;
+  mutable useful : Bitset.t array;  (* stage index -> useful switches *)
+}
+
+let make_scratch topo =
+  let n = Topo.n_switches topo in
+  {
+    vol = Array.make n 0.0;
+    nvol = Array.make n 0.0;
+    cand = Array.make n 0;
+    candw = Array.make n 0.0;
+    touched = Ivec.create ();
+    ntouched = Ivec.create ();
+    useful = [||];
+  }
+
+type result = { delivered : float; stuck : float }
+
+let ensure_useful sc topo count =
+  if Array.length sc.useful < count then begin
+    let n = Topo.n_switches topo in
+    sc.useful <- Array.init count (fun _ -> Bitset.create n)
+  end
+
+(* A switch is useful at stage k when the remaining hops can still deliver
+   from it over usable circuits — the "feasible shortest paths" ECMP routes
+   on.  Backward sweep over the compiled candidate lists. *)
+let compute_useful topo sc c =
+  let n_stages = Array.length c.stages in
+  ensure_useful sc topo (n_stages + 1);
+  Bitset.fill sc.useful.(n_stages);
+  for k = n_stages - 1 downto 0 do
+    let stage = c.stages.(k) in
+    let u = sc.useful.(k) and u' = sc.useful.(k + 1) in
+    Bitset.clear u;
+    for i = 0 to Array.length stage.circuits - 1 do
+      if Topo.usable topo stage.circuits.(i) && Bitset.mem u' stage.nexts.(i)
+      then Bitset.add u stage.prevs.(i)
+    done;
+    Array.iter (fun s -> if Bitset.mem u' s then Bitset.add u s) stage.skip_switches
+  done
+
+let evaluate ?(scale = 1.0) ?(split = `Equal) topo sc c ~loads =
+  let weighted = split = `Capacity_weighted in
+  compute_useful topo sc c;
+  let stuck = ref 0.0 in
+  Ivec.clear sc.touched;
+  Array.iter
+    (fun (s, v) ->
+      if sc.vol.(s) = 0.0 then Ivec.push sc.touched s;
+      sc.vol.(s) <- sc.vol.(s) +. (v *. scale))
+    c.sources;
+  let n_stages = Array.length c.stages in
+  for k = 0 to n_stages - 1 do
+    let stage = c.stages.(k) in
+    let u' = sc.useful.(k + 1) in
+    let m = Array.length stage.circuits in
+    Ivec.clear sc.ntouched;
+    (* Skip markers first: a carrier neither splits nor counts as stuck. *)
+    Array.iter
+      (fun s -> if sc.vol.(s) > 0.0 && Bitset.mem u' s then sc.cand.(s) <- -1)
+      stage.skip_switches;
+    (* Count the qualifying usable circuits per loaded switch (and, for
+       weighted routing configurations, their total capacity). *)
+    for i = 0 to m - 1 do
+      let prev = stage.prevs.(i) in
+      if
+        sc.vol.(prev) > 0.0
+        && sc.cand.(prev) >= 0
+        && Topo.usable topo stage.circuits.(i)
+        && Bitset.mem u' stage.nexts.(i)
+      then begin
+        sc.cand.(prev) <- sc.cand.(prev) + 1;
+        if weighted then
+          sc.candw.(prev) <-
+            sc.candw.(prev)
+            +. (Topo.circuit topo stage.circuits.(i)).Circuit.capacity
+      end
+    done;
+    (* Distribute over the qualifying circuits: equally under plain ECMP,
+       or proportionally to capacity under the temporary routing
+       configurations of §7.1 (UCMP). *)
+    for i = 0 to m - 1 do
+      let prev = stage.prevs.(i) in
+      let v = sc.vol.(prev) in
+      if
+        v > 0.0
+        && sc.cand.(prev) > 0
+        && Topo.usable topo stage.circuits.(i)
+        && Bitset.mem u' stage.nexts.(i)
+      then begin
+        let next = stage.nexts.(i) in
+        let j = stage.circuits.(i) in
+        let share =
+          if weighted then
+            v *. (Topo.circuit topo j).Circuit.capacity /. sc.candw.(prev)
+          else v /. float_of_int sc.cand.(prev)
+        in
+        loads.(j) <- loads.(j) +. share;
+        if sc.nvol.(next) = 0.0 then Ivec.push sc.ntouched next;
+        sc.nvol.(next) <- sc.nvol.(next) +. share
+      end
+    done;
+    (* Carriers keep their volume for the next stage. *)
+    Array.iter
+      (fun s ->
+        if sc.cand.(s) = -1 && sc.vol.(s) > 0.0 then begin
+          if sc.nvol.(s) = 0.0 then Ivec.push sc.ntouched s;
+          sc.nvol.(s) <- sc.nvol.(s) +. sc.vol.(s)
+        end)
+      stage.skip_switches;
+    (* Anything loaded with neither circuits nor a carrier mark is stuck:
+       the demand constraint of Eq. 4 fails for this topology. *)
+    for i = 0 to sc.touched.Ivec.len - 1 do
+      let s = sc.touched.Ivec.data.(i) in
+      if sc.vol.(s) > 0.0 && sc.cand.(s) = 0 then stuck := !stuck +. sc.vol.(s);
+      sc.vol.(s) <- 0.0;
+      sc.cand.(s) <- 0;
+      sc.candw.(s) <- 0.0
+    done;
+    (* Advance: the next stage reads from [vol]. *)
+    Ivec.clear sc.touched;
+    for i = 0 to sc.ntouched.Ivec.len - 1 do
+      let s = sc.ntouched.Ivec.data.(i) in
+      sc.vol.(s) <- sc.nvol.(s);
+      sc.nvol.(s) <- 0.0;
+      Ivec.push sc.touched s
+    done
+  done;
+  let delivered = ref 0.0 in
+  for i = 0 to sc.touched.Ivec.len - 1 do
+    let s = sc.touched.Ivec.data.(i) in
+    delivered := !delivered +. sc.vol.(s);
+    sc.vol.(s) <- 0.0
+  done;
+  Ivec.clear sc.touched;
+  { delivered = !delivered; stuck = !stuck }

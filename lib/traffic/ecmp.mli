@@ -1,0 +1,82 @@
+(** Macro-scale ECMP flow evaluation.
+
+    Following the paper (§5, "we focus on macro-scale network behavior …
+    we use the equal-cost multi-path (ECMP) routing policy"), a demand's
+    volume is pushed through the layered topology stage by stage: at every
+    switch the volume splits equally over the usable circuits that lead to
+    a next-stage switch from which the destination is still reachable.
+    Per-circuit loads accumulate across demands; the satisfiability checker
+    then compares them against θ·W{_c} (Eq. 5) and treats any stuck volume
+    as a violated path-existence constraint (Eq. 4).
+
+    A route is first {e compiled} against the universe topology — folding
+    the per-hop switch filters into per-stage candidate circuit lists — so
+    that each evaluation touches only the circuits a demand can ever use.
+    This is what keeps one full satisfiability check at the Θ(|S|+|C|) the
+    paper states (Theorems 1–2). *)
+
+type hop = {
+  dir : [ `Up | `Down ];  (** Circuit orientation followed at this hop. *)
+  accept : Switch.t -> bool;  (** Which next switches qualify. *)
+  skip : Switch.t -> bool;
+      (** Switches already past this hop: they carry their volume to the
+          next stage unchanged (used when a layer such as MA is optional
+          on the path). *)
+}
+
+val hop : ?skip:(Switch.t -> bool) -> [ `Up | `Down ] -> (Switch.t -> bool) -> hop
+(** [hop dir accept] with [skip] defaulting to never. *)
+
+type compiled
+(** A demand class compiled against a universe topology. *)
+
+val compile :
+  Topo.t -> sources:(int * float) list -> hops:hop list -> compiled
+(** [compile topo ~sources ~hops] precomputes, for every hop, the circuits
+    that volume starting at [sources] can possibly traverse, assuming every
+    element of the universe could be active.  [sources] pairs switch ids
+    with injected volume (Tbps). *)
+
+val source_volume : compiled -> float
+(** Total volume injected by the compiled class. *)
+
+val stage_circuit_count : compiled -> int
+(** Total candidate circuits across stages (a size diagnostic). *)
+
+type scratch
+(** Reusable working memory for evaluations (per-switch volumes,
+    usefulness marks).  One scratch may be shared by successive
+    evaluations on topologies of the same shape, not by concurrent ones. *)
+
+val make_scratch : Topo.t -> scratch
+
+type result = {
+  delivered : float;  (** Volume that reached the final stage. *)
+  stuck : float;
+      (** Volume left at a switch with no usable qualifying circuit: a
+          violation of the path-existence constraint (Eq. 4). *)
+}
+
+val evaluate :
+  ?scale:float ->
+  ?split:[ `Equal | `Capacity_weighted ] ->
+  Topo.t ->
+  scratch ->
+  compiled ->
+  loads:float array ->
+  result
+(** [evaluate ?scale ?split topo scratch c ~loads] pushes the class's
+    volume (times [scale], default 1.0 — flow is linear in volume, so
+    demand calibration and forecast growth reuse one compilation) through
+    the {e currently usable} circuits of [topo], adding every circuit's
+    share into [loads] (indexed by circuit id; the caller zeroes it
+    between checks).
+
+    [split] selects the hashing policy at each hop: [`Equal] (default) is
+    plain ECMP — the same share per next-hop circuit regardless of its
+    capacity; [`Capacity_weighted] splits proportionally to circuit
+    capacity, modeling the temporary routing configurations operators
+    deploy when generations of different capacity coexist (§7.1).
+
+    Deterministic; [delivered +. stuck] equals [scale *. source_volume c]
+    up to rounding. *)

@@ -1,0 +1,40 @@
+module Prng = Kutil.Prng
+
+type t = {
+  weekly_growth : float;
+  spike_probability : float;
+  spike_magnitude : float;
+  seed : int;
+}
+
+let create ?(weekly_growth = 0.01) ?(spike_probability = 0.05)
+    ?(spike_magnitude = 0.5) ~prng () =
+  {
+    weekly_growth;
+    spike_probability;
+    spike_magnitude;
+    seed = Int64.to_int (Prng.next_int64 prng);
+  }
+
+(* Spikes must be reproducible per (week, class) independent of query
+   order, so each query derives a fresh stream from a hash of the key. *)
+let spike_draw t ~week ~class_name =
+  let h = Hashtbl.hash (t.seed, week, class_name) in
+  let g = Prng.create ~seed:(t.seed lxor (h * 2654435761)) in
+  Prng.float g 1.0
+
+let scale_at t ~week ~class_name =
+  if week < 0 then invalid_arg "Forecast.scale_at: negative week";
+  let growth = (1.0 +. t.weekly_growth) ** float_of_int week in
+  let spike =
+    if week > 0 && spike_draw t ~week ~class_name < t.spike_probability then
+      1.0 +. t.spike_magnitude
+    else 1.0
+  in
+  growth *. spike
+
+let apply t ~week demands =
+  List.map
+    (fun (d : Demand.t) ->
+      Demand.scale (scale_at t ~week ~class_name:d.Demand.name) d)
+    demands

@@ -1,0 +1,141 @@
+module Graph = struct
+  type edge = {
+    dst : int;
+    mutable cap : float;  (* residual capacity *)
+    original : float;
+    rev : int;  (* index of the reverse edge in adj.(dst) *)
+  }
+
+  type t = { adj : edge list array }
+
+  (* Adjacency is accumulated as lists and frozen into arrays (with DFS
+     iteration pointers) when max_flow runs. *)
+  type frozen = {
+    edges : edge array array;
+    level : int array;
+    iter : int array;
+  }
+
+  let create n = { adj = Array.make n [] }
+
+  let add_edge t ~src ~dst ~capacity =
+    if capacity < 0.0 then invalid_arg "Maxflow.add_edge: negative capacity";
+    let n = Array.length t.adj in
+    if src < 0 || src >= n || dst < 0 || dst >= n then
+      invalid_arg "Maxflow.add_edge: node out of range";
+    let fwd_index = List.length t.adj.(src) in
+    let rev_index = List.length t.adj.(dst) + if src = dst then 1 else 0 in
+    let fwd = { dst; cap = capacity; original = capacity; rev = rev_index } in
+    let rev = { dst = src; cap = 0.0; original = 0.0; rev = fwd_index } in
+    t.adj.(src) <- t.adj.(src) @ [ fwd ];
+    t.adj.(dst) <- t.adj.(dst) @ [ rev ]
+
+  let eps = 1e-9
+
+  let freeze t =
+    let n = Array.length t.adj in
+    let edges = Array.map Array.of_list t.adj in
+    (* Reset any flow from a previous run. *)
+    Array.iter (Array.iter (fun e -> e.cap <- e.original)) edges;
+    { edges; level = Array.make n (-1); iter = Array.make n 0 }
+
+  let bfs f ~source ~sink =
+    Array.fill f.level 0 (Array.length f.level) (-1);
+    f.level.(source) <- 0;
+    let queue = Queue.create () in
+    Queue.add source queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      Array.iter
+        (fun e ->
+          if e.cap > eps && f.level.(e.dst) < 0 then begin
+            f.level.(e.dst) <- f.level.(u) + 1;
+            Queue.add e.dst queue
+          end)
+        f.edges.(u)
+    done;
+    f.level.(sink) >= 0
+
+  let rec dfs f u ~sink pushed =
+    if u = sink then pushed
+    else begin
+      let result = ref 0.0 in
+      while !result = 0.0 && f.iter.(u) < Array.length f.edges.(u) do
+        let e = f.edges.(u).(f.iter.(u)) in
+        if e.cap > eps && f.level.(e.dst) = f.level.(u) + 1 then begin
+          let d = dfs f e.dst ~sink (Float.min pushed e.cap) in
+          if d > eps then begin
+            e.cap <- e.cap -. d;
+            let back = f.edges.(e.dst).(e.rev) in
+            back.cap <- back.cap +. d;
+            result := d
+          end
+          else f.iter.(u) <- f.iter.(u) + 1
+        end
+        else f.iter.(u) <- f.iter.(u) + 1
+      done;
+      !result
+    end
+
+  let max_flow t ~source ~sink =
+    if source = sink then invalid_arg "Maxflow.max_flow: source equals sink";
+    let f = freeze t in
+    let flow = ref 0.0 in
+    while bfs f ~source ~sink do
+      Array.fill f.iter 0 (Array.length f.iter) 0;
+      let rec augment () =
+        let pushed = dfs f source ~sink infinity in
+        if pushed > eps then begin
+          flow := !flow +. pushed;
+          augment ()
+        end
+      in
+      augment ()
+    done;
+    !flow
+end
+
+let destination_switches ~rsws_by_dc ~ebbs (d : Demand.t) =
+  match d.Demand.dst with
+  | Demand.Backbone -> ebbs
+  | Demand.Rsws_of_dc j ->
+      if j < 0 || j >= Array.length rsws_by_dc then
+        invalid_arg "Maxflow: DC index out of range";
+      rsws_by_dc.(j)
+  | Demand.Rsws_except_dc i ->
+      List.concat
+        (List.filteri (fun j _ -> j <> i) (Array.to_list rsws_by_dc))
+
+let class_feasible topo ~rsws_by_dc ~ebbs ?(utilization_bound = 1.0)
+    (d : Demand.t) =
+  let n = Topo.n_switches topo in
+  let source = n and sink = n + 1 in
+  let g = Graph.create (n + 2) in
+  (* Every usable circuit carries up to bound * W in either direction. *)
+  Array.iter
+    (fun (c : Circuit.t) ->
+      if Topo.usable topo c.Circuit.id then begin
+        let cap = utilization_bound *. c.Circuit.capacity in
+        Graph.add_edge g ~src:c.Circuit.lo ~dst:c.Circuit.hi ~capacity:cap;
+        Graph.add_edge g ~src:c.Circuit.hi ~dst:c.Circuit.lo ~capacity:cap
+      end)
+    (Topo.circuits topo);
+  let sources = Routes.sources_for ~rsws_by_dc ~ebbs d in
+  List.iter
+    (fun (s, share) -> Graph.add_edge g ~src:source ~dst:s ~capacity:share)
+    sources;
+  List.iter
+    (fun s -> Graph.add_edge g ~src:s ~dst:sink ~capacity:infinity)
+    (destination_switches ~rsws_by_dc ~ebbs d);
+  Graph.max_flow g ~source ~sink >= d.Demand.volume -. 1e-6
+
+let ecmp_gap topo ~rsws_by_dc ~ebbs demands =
+  let scratch = Ecmp.make_scratch topo in
+  let loads = Array.make (Topo.n_circuits topo) 0.0 in
+  List.filter
+    (fun d ->
+      let compiled = Routes.compile topo ~rsws_by_dc ~ebbs d in
+      Array.fill loads 0 (Array.length loads) 0.0;
+      let r = Ecmp.evaluate topo scratch compiled ~loads in
+      r.Ecmp.stuck > 1e-9 && class_feasible topo ~rsws_by_dc ~ebbs d)
+    demands

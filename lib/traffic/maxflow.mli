@@ -1,0 +1,50 @@
+(** Max-flow feasibility analysis (Dinic's algorithm).
+
+    ECMP is oblivious: it splits equally per next hop, so a state can be
+    unroutable under ECMP while ample capacity exists — exactly the gap
+    the §7.1 temporary routing configurations close.  This module answers
+    the underlying question: {e could any routing} serve a demand class on
+    the current usable topology?  Each class is checked as an independent
+    single-commodity max-flow from its sources to its destination set (a
+    necessary per-class condition; classes are not jointly multicommodity
+    — see {!class_feasible}). *)
+
+module Graph : sig
+  type t
+  (** A directed flow network over integer nodes. *)
+
+  val create : int -> t
+  (** [create n] has nodes [0 .. n-1] and no edges. *)
+
+  val add_edge : t -> src:int -> dst:int -> capacity:float -> unit
+  (** Add a directed edge (its residual reverse edge is implicit).
+      Capacity must be non-negative. *)
+
+  val max_flow : t -> source:int -> sink:int -> float
+  (** Dinic's algorithm: level BFS + blocking-flow DFS, O(V²E); floats
+      with an 1e-9 cut-off.  Resets previous flow before computing. *)
+end
+
+val class_feasible :
+  Topo.t ->
+  rsws_by_dc:int list array ->
+  ebbs:int list ->
+  ?utilization_bound:float ->
+  Demand.t ->
+  bool
+(** Could the class's full volume be routed over the currently usable
+    circuits at all, with every circuit below [utilization_bound]
+    (default 1.0) of its capacity?  Sources inject their uniform shares;
+    any split over the destination endpoint's switches is allowed.
+    This is routing-scheme-independent: [true] with ECMP stuck volume
+    means the infeasibility is ECMP-induced. *)
+
+val ecmp_gap :
+  Topo.t ->
+  rsws_by_dc:int list array ->
+  ebbs:int list ->
+  Demand.t list ->
+  Demand.t list
+(** The classes that max-flow can serve but ECMP leaves (partially)
+    stuck on the current topology — the candidates for a temporary
+    routing configuration (§7.1). *)

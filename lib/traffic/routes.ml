@@ -1,0 +1,74 @@
+let role_is r (sw : Switch.t) = sw.Switch.role = r
+
+let dst_rsw_filter (dst : Demand.endpoint) (sw : Switch.t) =
+  match dst with
+  | Demand.Rsws_of_dc j -> sw.Switch.dc = j
+  | Demand.Rsws_except_dc i -> sw.Switch.dc <> i
+  | Demand.Backbone -> false
+
+let up_fabric_hops i =
+  [
+    Ecmp.hop `Up (fun sw -> role_is Switch.FSW sw && sw.Switch.dc = i);
+    Ecmp.hop `Up (fun sw -> role_is Switch.SSW sw && sw.Switch.dc = i);
+    Ecmp.hop `Up (role_is Switch.FADU);
+  ]
+
+(* Descent stops at the destination DC's spine: below the SSWs the fabric
+   is untouched by every migration type we model and structurally mirrors
+   the (fully accounted) source side, so terminating at the SSW layer
+   keeps the macro-scale loads on every constrained layer while halving
+   the evaluation work. *)
+let down_fabric_hops dst =
+  [ Ecmp.hop `Down (fun sw -> role_is Switch.SSW sw && dst_rsw_filter dst sw) ]
+
+let hops_for (d : Demand.t) =
+  match (d.src, d.dst) with
+  | Demand.Rsws_of_dc i, (Demand.Rsws_of_dc _ | Demand.Rsws_except_dc _) ->
+      (* East-west: hairpin through the HGRID downlink units. *)
+      up_fabric_hops i @ down_fabric_hops d.dst
+  | Demand.Rsws_of_dc i, Demand.Backbone ->
+      (* Egress: the MA layer is optional — volume reaching an EB directly
+         carries through the MA stage. *)
+      up_fabric_hops i
+      @ [
+          Ecmp.hop `Up (role_is Switch.FAUU);
+          Ecmp.hop `Up (fun sw ->
+              role_is Switch.MA sw || role_is Switch.EB sw);
+          Ecmp.hop `Up ~skip:(role_is Switch.EB) (role_is Switch.EB);
+          Ecmp.hop `Up (role_is Switch.DR);
+          Ecmp.hop `Up (role_is Switch.EBB);
+        ]
+  | Demand.Backbone, (Demand.Rsws_of_dc _ | Demand.Rsws_except_dc _) ->
+      [
+        Ecmp.hop `Down (role_is Switch.DR);
+        Ecmp.hop `Down (role_is Switch.EB);
+        Ecmp.hop `Down (fun sw ->
+            role_is Switch.MA sw || role_is Switch.FAUU sw);
+        Ecmp.hop `Down ~skip:(role_is Switch.FAUU) (role_is Switch.FAUU);
+        Ecmp.hop `Down (role_is Switch.FADU);
+      ]
+      @ down_fabric_hops d.dst
+  | (Demand.Rsws_except_dc _, _ | Demand.Backbone, Demand.Backbone) ->
+      invalid_arg
+        (Printf.sprintf "Routes.hops_for: unroutable class %s" d.Demand.name)
+
+let sources_for ~rsws_by_dc ~ebbs (d : Demand.t) =
+  let spread ids =
+    match ids with
+    | [] -> invalid_arg "Routes.sources_for: empty source endpoint"
+    | _ ->
+        let share = d.Demand.volume /. float_of_int (List.length ids) in
+        List.map (fun s -> (s, share)) ids
+  in
+  match d.Demand.src with
+  | Demand.Rsws_of_dc i ->
+      if i < 0 || i >= Array.length rsws_by_dc then
+        invalid_arg "Routes.sources_for: DC index out of range";
+      spread rsws_by_dc.(i)
+  | Demand.Backbone -> spread ebbs
+  | Demand.Rsws_except_dc _ ->
+      invalid_arg "Routes.sources_for: aggregate endpoint cannot be a source"
+
+let compile topo ~rsws_by_dc ~ebbs d =
+  Ecmp.compile topo ~sources:(sources_for ~rsws_by_dc ~ebbs d)
+    ~hops:(hops_for d)

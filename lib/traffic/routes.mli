@@ -1,0 +1,24 @@
+(** Route derivation: from a demand class to the staged ECMP hops it takes
+    through a Meta-style region.
+
+    East-west traffic between buildings hairpins through the HGRID downlink
+    units (fabric → SSW → FADU → SSW → fabric); egress climbs the full
+    stack to the backbone (… FADU → FAUU → \[MA →\] EB → DR → EBB), where
+    the MA stage is optional so that DMAG migrations — which introduce the
+    MA layer mid-flight — route over whichever of the direct FAUU–EB
+    circuits and the new MA detour currently exist (§2.4, §5). *)
+
+val hops_for : Demand.t -> Ecmp.hop list
+(** The staged route of a demand class.  Raises [Invalid_argument] for a
+    class the model cannot route (e.g. Backbone → Backbone). *)
+
+val sources_for :
+  rsws_by_dc:int list array -> ebbs:int list -> Demand.t -> (int * float) list
+(** The injection points of a demand class: its volume spread uniformly
+    over the member switches of the source endpoint. *)
+
+val compile :
+  Topo.t -> rsws_by_dc:int list array -> ebbs:int list -> Demand.t ->
+  Ecmp.compiled
+(** [compile topo ~rsws_by_dc ~ebbs d] = [Ecmp.compile] of {!sources_for}
+    and {!hops_for}. *)

@@ -1,0 +1,70 @@
+type t = { words : Bytes.t; n : int }
+
+(* We pack 8 bits per byte.  Bytes gives us bounds-checked, GC-friendly
+   storage without unsafe primitives. *)
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative capacity";
+  { words = Bytes.make ((n + 7) / 8) '\000'; n }
+
+let capacity t = t.n
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitset: index out of range"
+
+let mem t i =
+  check t i;
+  Char.code (Bytes.get t.words (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let add t i =
+  check t i;
+  let b = Char.code (Bytes.get t.words (i lsr 3)) in
+  Bytes.set t.words (i lsr 3) (Char.chr (b lor (1 lsl (i land 7))))
+
+let remove t i =
+  check t i;
+  let b = Char.code (Bytes.get t.words (i lsr 3)) in
+  Bytes.set t.words (i lsr 3) (Char.chr (b land lnot (1 lsl (i land 7)) land 0xff))
+
+let set t i v = if v then add t i else remove t i
+
+let popcount_byte =
+  (* 256-entry popcount table, built once. *)
+  let table = Array.make 256 0 in
+  for i = 1 to 255 do
+    table.(i) <- table.(i lsr 1) + (i land 1)
+  done;
+  fun c -> table.(Char.code c)
+
+let cardinal t =
+  let acc = ref 0 in
+  Bytes.iter (fun c -> acc := !acc + popcount_byte c) t.words;
+  !acc
+
+let copy t = { words = Bytes.copy t.words; n = t.n }
+
+let clear t = Bytes.fill t.words 0 (Bytes.length t.words) '\000'
+
+let fill t =
+  for i = 0 to t.n - 1 do
+    add t i
+  done
+
+let iter f t =
+  for i = 0 to t.n - 1 do
+    if mem t i then f i
+  done
+
+let to_list t =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    if mem t i then acc := i :: !acc
+  done;
+  !acc
+
+let create_full n =
+  let t = create n in
+  fill t;
+  t
+
+let equal a b = a.n = b.n && Bytes.equal a.words b.words

@@ -1,0 +1,50 @@
+(** Dense mutable bitsets over [0 .. n-1].
+
+    Topology states flip thousands of switch/circuit activity flags per
+    satisfiability check; a packed bitset keeps those flags cache-friendly
+    and makes population counts cheap. *)
+
+type t
+(** A fixed-capacity mutable set of small integers. *)
+
+val create : int -> t
+(** [create n] is an empty bitset able to hold elements [0 .. n-1]. *)
+
+val create_full : int -> t
+(** [create_full n] holds every element of [0 .. n-1]. *)
+
+val capacity : t -> int
+(** The [n] the set was created with. *)
+
+val mem : t -> int -> bool
+(** Membership test.  Raises [Invalid_argument] when out of range. *)
+
+val add : t -> int -> unit
+(** Insert an element (idempotent). *)
+
+val remove : t -> int -> unit
+(** Delete an element (idempotent). *)
+
+val set : t -> int -> bool -> unit
+(** [set t i b] makes [mem t i = b]. *)
+
+val cardinal : t -> int
+(** Number of elements currently present (O(n/64) popcount). *)
+
+val copy : t -> t
+(** An independent clone. *)
+
+val clear : t -> unit
+(** Remove every element. *)
+
+val fill : t -> unit
+(** Insert every element of [0 .. n-1]. *)
+
+val iter : (int -> unit) -> t -> unit
+(** [iter f t] applies [f] to each member in increasing order. *)
+
+val to_list : t -> int list
+(** Members in increasing order. *)
+
+val equal : t -> t -> bool
+(** Same capacity and same members. *)

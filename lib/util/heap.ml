@@ -1,0 +1,104 @@
+(* Binary min-heap backed by a growable array.  Index 0 is the root; the
+   children of index [i] are [2*i + 1] and [2*i + 2]. *)
+
+type 'a t = {
+  compare : 'a -> 'a -> int;
+  mutable data : 'a array;
+  mutable size : int;
+}
+
+let create ~compare = { compare; data = [||]; size = 0 }
+
+let length h = h.size
+
+let is_empty h = h.size = 0
+
+let grow h x =
+  (* Double the backing array, seeding fresh slots with [x] so the array
+     never holds values of the wrong type.  The seed slots are dead until
+     [size] reaches them. *)
+  let capacity = Array.length h.data in
+  let capacity' = if capacity = 0 then 16 else capacity * 2 in
+  let data' = Array.make capacity' x in
+  Array.blit h.data 0 data' 0 h.size;
+  h.data <- data'
+
+let swap h i j =
+  let tmp = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- tmp
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.compare h.data.(i) h.data.(parent) < 0 then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let left = (2 * i) + 1 in
+  let right = left + 1 in
+  let smallest =
+    if left < h.size && h.compare h.data.(left) h.data.(i) < 0 then left
+    else i
+  in
+  let smallest =
+    if right < h.size && h.compare h.data.(right) h.data.(smallest) < 0 then
+      right
+    else smallest
+  in
+  if smallest <> i then begin
+    swap h i smallest;
+    sift_down h smallest
+  end
+
+let push h x =
+  if h.size = Array.length h.data then grow h x;
+  h.data.(h.size) <- x;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let peek h = if h.size = 0 then None else Some h.data.(0)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let root = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      sift_down h 0
+    end;
+    Some root
+  end
+
+let pop_exn h =
+  match pop h with
+  | Some x -> x
+  | None -> invalid_arg "Heap.pop_exn: empty heap"
+
+let clear h =
+  h.data <- [||];
+  h.size <- 0
+
+let of_list ~compare xs =
+  let h = create ~compare in
+  List.iter (push h) xs;
+  h
+
+let to_sorted_list h =
+  let rec drain acc =
+    match pop h with
+    | None -> List.rev acc
+    | Some x -> drain (x :: acc)
+  in
+  drain []
+
+let fold_unordered f init h =
+  let acc = ref init in
+  for i = 0 to h.size - 1 do
+    acc := f !acc h.data.(i)
+  done;
+  !acc

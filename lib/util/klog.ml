@@ -1,0 +1,21 @@
+let planner = Logs.Src.create "klotski.planner" ~doc:"Migration planners"
+let topology = Logs.Src.create "klotski.topology" ~doc:"Topology model"
+let traffic = Logs.Src.create "klotski.traffic" ~doc:"Traffic and routing"
+let pipeline = Logs.Src.create "klotski.pipeline" ~doc:"EDP-Lite pipeline"
+
+let reporter () =
+  let report src level ~over k msgf =
+    let k _ =
+      over ();
+      k ()
+    in
+    msgf @@ fun ?header:_ ?tags:_ fmt ->
+    Format.kfprintf k Format.err_formatter
+      ("[%s] %a @[" ^^ fmt ^^ "@]@.")
+      (Logs.Src.name src) Logs.pp_level level
+  in
+  { Logs.report }
+
+let setup ?(level = Logs.Warning) () =
+  Logs.set_reporter (reporter ());
+  Logs.set_level (Some level)

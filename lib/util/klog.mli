@@ -1,0 +1,21 @@
+(** Logging setup shared by the CLI, examples and benchmarks.
+
+    Thin wrapper over [Logs] with a dedicated source per subsystem so that
+    planner traces can be enabled without drowning in topology-builder
+    noise. *)
+
+val planner : Logs.src
+(** Log source for the planners (A*, DP, baselines). *)
+
+val topology : Logs.src
+(** Log source for topology construction and symmetry detection. *)
+
+val traffic : Logs.src
+(** Log source for demand generation and ECMP evaluation. *)
+
+val pipeline : Logs.src
+(** Log source for the end-to-end EDP-Lite pipeline. *)
+
+val setup : ?level:Logs.level -> unit -> unit
+(** [setup ~level ()] installs a [Fmt]-based reporter on stderr and sets the
+    global log level (default [Logs.Warning]).  Safe to call repeatedly. *)

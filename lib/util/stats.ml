@@ -1,0 +1,50 @@
+let sum xs =
+  (* Kahan summation: benchmark times span several orders of magnitude. *)
+  let total = ref 0.0 and carry = ref 0.0 in
+  Array.iter
+    (fun x ->
+      let y = x -. !carry in
+      let t = !total +. y in
+      carry := t -. !total -. y;
+      total := t)
+    xs;
+  !total
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else sum xs /. float_of_int n
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else
+    let m = mean xs in
+    let acc = Array.fold_left (fun a x -> a +. ((x -. m) ** 2.0)) 0.0 xs in
+    sqrt (acc /. float_of_int n)
+
+let min_max xs =
+  if Array.length xs = 0 then invalid_arg "Stats.min_max: empty array";
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (xs.(0), xs.(0))
+    xs
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let w = rank -. float_of_int lo in
+    ((1.0 -. w) *. sorted.(lo)) +. (w *. sorted.(hi))
+
+let median xs = percentile xs 50.0
+
+let normalize_by base xs =
+  if base = 0.0 then invalid_arg "Stats.normalize_by: zero base";
+  Array.map (fun x -> x /. base) xs

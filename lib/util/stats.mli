@@ -1,0 +1,27 @@
+(** Small descriptive-statistics helpers used by the benchmark harness and
+    the workload reports (Table 1 / Table 3 rows). *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0. on an empty array. *)
+
+val stddev : float array -> float
+(** Population standard deviation; 0. on arrays of length < 2. *)
+
+val min_max : float array -> float * float
+(** [(min, max)] of a non-empty array.  Raises [Invalid_argument] on
+    empty input. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] is the [p]-th percentile (0 ≤ p ≤ 100) using linear
+    interpolation between closest ranks.  Does not mutate [xs].  Raises
+    [Invalid_argument] on empty input or out-of-range [p]. *)
+
+val median : float array -> float
+(** [median xs] = [percentile xs 50.]. *)
+
+val sum : float array -> float
+(** Kahan-compensated sum. *)
+
+val normalize_by : float -> float array -> float array
+(** [normalize_by base xs] divides every element by [base].  Raises
+    [Invalid_argument] if [base = 0.]. *)

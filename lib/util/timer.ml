@@ -1,0 +1,30 @@
+(* We avoid a Unix dependency: [Sys.time] is CPU time, which is exactly what
+   a planning budget should meter (the planner is CPU-bound and
+   single-threaded, so CPU time tracks wall time), and it is portable. *)
+
+let now () = Sys.time ()
+
+let time f =
+  let start = now () in
+  let result = f () in
+  (result, now () -. start)
+
+module Budget = struct
+  type t = { deadline : float option }
+
+  let unlimited = { deadline = None }
+
+  let of_seconds s =
+    if s <= 0.0 then invalid_arg "Budget.of_seconds: non-positive budget";
+    { deadline = Some (now () +. s) }
+
+  let expired b =
+    match b.deadline with None -> false | Some d -> now () > d
+
+  let remaining b =
+    match b.deadline with
+    | None -> infinity
+    | Some d -> Float.max 0.0 (d -. now ())
+
+  let check b = if expired b then Error `Timeout else Ok ()
+end

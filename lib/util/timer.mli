@@ -1,0 +1,38 @@
+(** Wall-clock timers and planning budgets.
+
+    The paper caps every planner run at 24 hours ("more time for planning
+    does not meet the efficiency requirement in production") and reports a
+    cross when a planner exhausts the budget.  [Budget.t] reproduces that
+    cutoff mechanism with a configurable limit. *)
+
+val now : unit -> float
+(** Monotonic-ish wall-clock seconds ([Unix]-free: uses [Sys.time] plus
+    [Unix.gettimeofday] when available; here simply
+    [Stdlib.Sys.time]-independent via [Stdlib]).  Suitable for measuring
+    elapsed planning time. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result together with the elapsed
+    wall-clock seconds. *)
+
+module Budget : sig
+  type t
+  (** A deadline measured from creation time. *)
+
+  val unlimited : t
+  (** A budget that never expires. *)
+
+  val of_seconds : float -> t
+  (** [of_seconds s] expires [s] seconds after the call.  [s] must be
+      positive. *)
+
+  val expired : t -> bool
+  (** [expired b] is [true] once the deadline has passed. *)
+
+  val remaining : t -> float
+  (** Seconds left; [infinity] for {!unlimited}, clamped at [0.]. *)
+
+  val check : t -> (unit, [ `Timeout ]) result
+  (** [check b] is [Error `Timeout] iff the budget is exhausted.  Planners
+      poll this between state expansions. *)
+end

@@ -1,0 +1,46 @@
+type t = { parent : int array; rank : int array }
+
+let create n = { parent = Array.init n (fun i -> i); rank = Array.make n 0 }
+
+let size uf = Array.length uf.parent
+
+let rec find uf x =
+  if x < 0 || x >= Array.length uf.parent then
+    invalid_arg "Union_find.find: out of range";
+  let p = uf.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find uf p in
+    uf.parent.(x) <- root;
+    root
+  end
+
+let union uf x y =
+  let rx = find uf x and ry = find uf y in
+  if rx <> ry then
+    if uf.rank.(rx) < uf.rank.(ry) then uf.parent.(rx) <- ry
+    else if uf.rank.(rx) > uf.rank.(ry) then uf.parent.(ry) <- rx
+    else begin
+      uf.parent.(ry) <- rx;
+      uf.rank.(rx) <- uf.rank.(rx) + 1
+    end
+
+let same uf x y = find uf x = find uf y
+
+let count_sets uf =
+  let n = Array.length uf.parent in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    if find uf i = i then incr count
+  done;
+  !count
+
+let groups uf =
+  let n = Array.length uf.parent in
+  let acc = Array.make n [] in
+  (* Walk indices downward so each member list comes out ascending. *)
+  for i = n - 1 downto 0 do
+    let r = find uf i in
+    acc.(r) <- i :: acc.(r)
+  done;
+  acc

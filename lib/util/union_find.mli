@@ -1,0 +1,32 @@
+(** Disjoint-set forest with union by rank and path compression.
+
+    Used by the symmetry detector to merge equivalent switches into symmetry
+    blocks, and by connectivity checks over topologies.  All operations are
+    effectively O(α(n)). *)
+
+type t
+(** A union-find structure over the integers [0 .. n-1]. *)
+
+val create : int -> t
+(** [create n] is a structure with [n] singleton sets [{0} .. {n-1}]. *)
+
+val size : t -> int
+(** [size uf] is the number of elements (not sets). *)
+
+val find : t -> int -> int
+(** [find uf x] is the canonical representative of [x]'s set.
+    Raises [Invalid_argument] if [x] is out of range. *)
+
+val union : t -> int -> int -> unit
+(** [union uf x y] merges the sets containing [x] and [y]. *)
+
+val same : t -> int -> int -> bool
+(** [same uf x y] is [find uf x = find uf y]. *)
+
+val count_sets : t -> int
+(** [count_sets uf] is the current number of disjoint sets. *)
+
+val groups : t -> int list array
+(** [groups uf] materializes the sets: an array indexed by representative
+    whose entry lists the members of that set (empty for non-representatives).
+    Members appear in increasing order. *)

@@ -1,0 +1,55 @@
+type t = int array
+
+let equal (a : t) (b : t) =
+  let n = Array.length a in
+  n = Array.length b
+  &&
+  let rec loop i = i >= n || (a.(i) = b.(i) && loop (i + 1)) in
+  loop 0
+
+(* FNV-1a over the integer elements.  We fold each element byte-free by
+   multiplying with the FNV prime; this is cheap and spreads the small
+   counter values that dominate compact vectors. *)
+let hash (v : t) =
+  let prime = 0x01000193 in
+  let h = ref 0x811c9dc5 in
+  for i = 0 to Array.length v - 1 do
+    h := (!h lxor v.(i)) * prime land max_int
+  done;
+  !h
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else
+    let rec loop i =
+      if i >= la then 0
+      else
+        let c = Stdlib.compare a.(i) b.(i) in
+        if c <> 0 then c else loop (i + 1)
+    in
+    loop 0
+
+let copy = Array.copy
+
+let zeros n = Array.make n 0
+
+let total v = Array.fold_left ( + ) 0 v
+
+let pp fmt v =
+  Format.fprintf fmt "(";
+  Array.iteri
+    (fun i x ->
+      if i > 0 then Format.fprintf fmt ", ";
+      Format.fprintf fmt "%d" x)
+    v;
+  Format.fprintf fmt ")"
+
+let to_string v = Format.asprintf "%a" pp v
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

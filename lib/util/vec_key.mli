@@ -1,0 +1,39 @@
+(** Integer-vector hash keys.
+
+    The paper's compact topology representation (§4.2) is a vector
+    [V = (v_i)] counting the finished actions of each action type.  The
+    satisfiability cache table T{_c} maps such vectors to check results.
+    This module provides the vector value, a fast structural hash, and a
+    hashtable specialized to it so that cache lookups never allocate. *)
+
+type t = int array
+(** A compact representation vector.  Index [i] is the number of finished
+    actions of action type [i].  Vectors are treated as immutable once used
+    as a key: callers must [copy] before mutating. *)
+
+val equal : t -> t -> bool
+(** Structural equality on vectors (same length, same elements). *)
+
+val hash : t -> int
+(** FNV-1a style hash over the elements; equal vectors hash equally. *)
+
+val compare : t -> t -> int
+(** Lexicographic order, shorter vectors first. *)
+
+val copy : t -> t
+(** [copy v] is a fresh physical copy of [v]. *)
+
+val zeros : int -> t
+(** [zeros n] is the all-zero vector of length [n] (the original state). *)
+
+val total : t -> int
+(** [total v] is the sum of the entries: the number of finished actions. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints a vector as [(v0, v1, ...)]. *)
+
+val to_string : t -> string
+(** [to_string v] is [Format.asprintf "%a" pp v]. *)
+
+module Table : Hashtbl.S with type key = t
+(** Hashtable keyed by compact vectors, e.g. the satisfiability cache. *)

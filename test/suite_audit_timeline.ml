@@ -1,0 +1,147 @@
+(* Tests for the structural audit, the per-pair demand granularity, and
+   the plan timeline renderer. *)
+
+let test_clean_scenarios () =
+  List.iter
+    (fun label ->
+      let findings = Audit.scenario (Gen.scenario_of_label label) in
+      Alcotest.(check int) (label ^ " has no findings") 0
+        (List.length findings))
+    [ "A"; "B"; "C" ]
+
+let test_all_kinds_clean () =
+  let p = { (Gen.params_b ()) with Gen.mas = 12 } in
+  List.iter
+    (fun kind ->
+      let findings = Audit.scenario (Gen.build kind p) in
+      Alcotest.(check bool)
+        (Gen.kind_to_string kind ^ " audits clean")
+        true (Audit.is_clean findings))
+    [ Gen.Hgrid_v1_to_v2; Gen.Ssw_forklift; Gen.Dmag ]
+
+let test_detects_port_overrun () =
+  (* Corrupt a copy: re-activate every future switch so SSW ports blow. *)
+  let sc = Gen.scenario_of_label "A" in
+  let corrupted = { sc with Gen.topo = Topo.copy sc.Gen.topo } in
+  List.iter
+    (fun s -> Topo.set_switch_active corrupted.Gen.topo s true)
+    sc.Gen.undrain_switches;
+  Array.iter
+    (fun (c : Circuit.t) ->
+      if
+        Topo.switch_active corrupted.Gen.topo c.Circuit.lo
+        && Topo.switch_active corrupted.Gen.topo c.Circuit.hi
+      then Topo.set_circuit_active corrupted.Gen.topo c.Circuit.id true)
+    (Topo.circuits corrupted.Gen.topo);
+  let findings = Audit.scenario corrupted in
+  Alcotest.(check bool) "port overrun detected" false (Audit.is_clean findings)
+
+let test_detects_broken_stripe () =
+  (* Deactivating one SSW-FADU circuit breaks the exactly-one invariant. *)
+  let sc = Gen.scenario_of_label "A" in
+  let corrupted = { sc with Gen.topo = Topo.copy sc.Gen.topo } in
+  let victim =
+    Array.to_list (Topo.circuits sc.Gen.topo)
+    |> List.find (fun (c : Circuit.t) ->
+           let lo = Topo.switch sc.Gen.topo c.Circuit.lo in
+           let hi = Topo.switch sc.Gen.topo c.Circuit.hi in
+           lo.Switch.role = Switch.SSW
+           && hi.Switch.role = Switch.FADU
+           && Topo.usable sc.Gen.topo c.Circuit.id)
+  in
+  Topo.set_circuit_active corrupted.Gen.topo victim.Circuit.id false;
+  let findings = Audit.scenario corrupted in
+  Alcotest.(check bool) "broken stripe detected" false
+    (Audit.is_clean findings)
+
+let test_detects_disconnection () =
+  let sc = Gen.scenario_of_label "A" in
+  let corrupted = { sc with Gen.topo = Topo.copy sc.Gen.topo } in
+  (* Drain the EBs: the backbone becomes unreachable. *)
+  List.iter
+    (fun e -> Topo.set_switch_active corrupted.Gen.topo e false)
+    sc.Gen.layout.Gen.ebs;
+  let findings = Audit.scenario corrupted in
+  Alcotest.(check bool) "disconnection detected" false
+    (Audit.is_clean findings);
+  Alcotest.(check bool) "names the unreachable routers" true
+    (List.exists
+       (fun (f : Audit.finding) ->
+         f.Audit.severity = `Error
+         && f.Audit.subject = "original topology")
+       findings)
+
+let test_per_pair_matrix () =
+  let prng = Kutil.Prng.create ~seed:11 in
+  let demands =
+    Matrix.generate ~prng ~dcs:3 ~granularity:`Per_pair ()
+  in
+  (* 3*2 ordered pairs + 3 egress + 3 ingress. *)
+  Alcotest.(check int) "class count" 12 (List.length demands);
+  Alcotest.check (Alcotest.float 1e-6) "volumes conserved" 1200.0
+    (Demand.total_volume demands);
+  (* Per-pair classes still plan end to end. *)
+  let sc = Gen.scenario_of_label "A" in
+  let prng = Kutil.Prng.create ~seed:11 in
+  let demands =
+    Matrix.generate ~prng ~dcs:sc.Gen.layout.Gen.params.Gen.dcs
+      ~granularity:`Per_pair ()
+  in
+  let task = Task.of_scenario ~demands sc in
+  match (Astar.plan task).Planner.outcome with
+  | Planner.Found p -> (
+      match Plan.validate task p with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+  | _ -> Alcotest.fail "per-pair task should plan"
+
+let timeline_fixture () =
+  let task = Task.of_scenario (Gen.scenario_of_label "A") in
+  match Astar.plan task with
+  | { Planner.outcome = Planner.Found p; _ } -> (task, p)
+  | _ -> Alcotest.fail "planning failed"
+
+let test_timeline_rows () =
+  let task, plan = timeline_fixture () in
+  let rows = Timeline.rows task plan in
+  Alcotest.(check int) "one row per step" (Plan.length plan)
+    (List.length rows);
+  List.iter
+    (fun (r : Timeline.row) ->
+      Alcotest.(check bool) "every step safe" true (r.Timeline.headroom >= -1e-9);
+      Alcotest.(check bool) "phase within range" true
+        (r.Timeline.phase >= 1 && r.Timeline.phase <= List.length plan.Plan.runs))
+    rows;
+  (* Steps are numbered consecutively. *)
+  List.iteri
+    (fun i (r : Timeline.row) ->
+      Alcotest.(check int) "step numbering" (i + 1) r.Timeline.step)
+    rows
+
+let test_timeline_render () =
+  let task, plan = timeline_fixture () in
+  let text = Timeline.render ~width:10 task plan in
+  let lines = String.split_on_char '\n' (String.trim text) in
+  Alcotest.(check int) "one line per step" (Plan.length plan)
+    (List.length lines);
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) "gauge present" true
+        (String.contains line '[' && String.contains line ']'))
+    lines
+
+let suite =
+  ( "audit+timeline",
+    [
+      Alcotest.test_case "clean scenarios" `Quick test_clean_scenarios;
+      Alcotest.test_case "all migration kinds clean" `Quick test_all_kinds_clean;
+      Alcotest.test_case "port overrun detected" `Quick
+        test_detects_port_overrun;
+      Alcotest.test_case "broken stripe detected" `Quick
+        test_detects_broken_stripe;
+      Alcotest.test_case "disconnection detected" `Quick
+        test_detects_disconnection;
+      Alcotest.test_case "per-pair demand matrix" `Quick test_per_pair_matrix;
+      Alcotest.test_case "timeline rows" `Quick test_timeline_rows;
+      Alcotest.test_case "timeline rendering" `Quick test_timeline_render;
+    ] )

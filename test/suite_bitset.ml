@@ -1,0 +1,97 @@
+(* Tests for Kutil.Bitset, including a property check against a reference
+   integer-set implementation. *)
+
+module Bitset = Kutil.Bitset
+module Iset = Set.Make (Int)
+
+let test_basic () =
+  let b = Bitset.create 10 in
+  Alcotest.(check int) "capacity" 10 (Bitset.capacity b);
+  Alcotest.(check int) "empty" 0 (Bitset.cardinal b);
+  Bitset.add b 3;
+  Bitset.add b 3;
+  Bitset.add b 9;
+  Alcotest.(check bool) "mem 3" true (Bitset.mem b 3);
+  Alcotest.(check bool) "mem 4" false (Bitset.mem b 4);
+  Alcotest.(check int) "cardinal" 2 (Bitset.cardinal b);
+  Bitset.remove b 3;
+  Bitset.remove b 3;
+  Alcotest.(check bool) "removed" false (Bitset.mem b 3);
+  Alcotest.(check int) "cardinal after remove" 1 (Bitset.cardinal b)
+
+let test_bounds () =
+  let b = Bitset.create 8 in
+  Alcotest.check_raises "mem out of range"
+    (Invalid_argument "Bitset: index out of range") (fun () ->
+      ignore (Bitset.mem b 8));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Bitset: index out of range") (fun () ->
+      Bitset.add b (-1))
+
+let test_full_clear () =
+  let b = Bitset.create_full 17 in
+  Alcotest.(check int) "full cardinal" 17 (Bitset.cardinal b);
+  Alcotest.(check bool) "mem 16" true (Bitset.mem b 16);
+  Bitset.clear b;
+  Alcotest.(check int) "cleared" 0 (Bitset.cardinal b);
+  Bitset.fill b;
+  Alcotest.(check int) "refilled" 17 (Bitset.cardinal b)
+
+let test_copy () =
+  let a = Bitset.create 5 in
+  Bitset.add a 2;
+  let b = Bitset.copy a in
+  Bitset.add b 4;
+  Alcotest.(check bool) "copy has 2" true (Bitset.mem b 2);
+  Alcotest.(check bool) "original untouched" false (Bitset.mem a 4)
+
+let test_iter_to_list () =
+  let b = Bitset.create 20 in
+  List.iter (Bitset.add b) [ 17; 2; 9 ];
+  Alcotest.(check (list int)) "sorted members" [ 2; 9; 17 ] (Bitset.to_list b);
+  let acc = ref [] in
+  Bitset.iter (fun i -> acc := i :: !acc) b;
+  Alcotest.(check (list int)) "iter order" [ 17; 9; 2 ] !acc
+
+let test_set_equal () =
+  let a = Bitset.create 9 and b = Bitset.create 9 in
+  Bitset.set a 5 true;
+  Bitset.set b 5 true;
+  Alcotest.(check bool) "equal" true (Bitset.equal a b);
+  Bitset.set b 5 false;
+  Alcotest.(check bool) "unequal" false (Bitset.equal a b);
+  Alcotest.(check bool) "different capacity" false
+    (Bitset.equal a (Bitset.create 10))
+
+let prop_matches_reference =
+  (* Random op sequences agree with Set.Make(Int). *)
+  QCheck.Test.make ~count:300 ~name:"bitset matches reference set"
+    QCheck.(list (pair (int_bound 63) bool))
+    (fun ops ->
+      let b = Bitset.create 64 in
+      let reference = ref Iset.empty in
+      List.iter
+        (fun (i, add) ->
+          if add then begin
+            Bitset.add b i;
+            reference := Iset.add i !reference
+          end
+          else begin
+            Bitset.remove b i;
+            reference := Iset.remove i !reference
+          end)
+        ops;
+      Bitset.to_list b = Iset.elements !reference
+      && Bitset.cardinal b = Iset.cardinal !reference)
+
+let suite =
+  ( "bitset",
+    [
+      Alcotest.test_case "basic membership" `Quick test_basic;
+      Alcotest.test_case "bounds checking" `Quick test_bounds;
+      Alcotest.test_case "full and clear" `Quick test_full_clear;
+      Alcotest.test_case "copy independence" `Quick test_copy;
+      Alcotest.test_case "iter and to_list" `Quick test_iter_to_list;
+      Alcotest.test_case "set and equal" `Quick test_set_equal;
+      QCheck_alcotest.to_alcotest prop_matches_reference;
+    ] )

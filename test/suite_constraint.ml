@@ -1,0 +1,214 @@
+(* Tests for the satisfiability checker and the ESC cache (§4.2). *)
+
+let task_a () = Task.of_scenario (Gen.scenario_of_label "A")
+
+let test_origin_satisfiable () =
+  let task = task_a () in
+  let ck = Constraint.create task in
+  let n = Action.Set.cardinal task.Task.actions in
+  Alcotest.(check bool) "origin ok" true (Constraint.check ck (Kutil.Vec_key.zeros n));
+  Alcotest.(check int) "one check" 1 (Constraint.checks_performed ck)
+
+let test_move_to_matches_fresh () =
+  (* Jumping around the lattice must land on the same topology state a
+     fresh checker reaches directly. *)
+  let task = task_a () in
+  let jumper = Constraint.create task in
+  let states =
+    [ [| 1; 0; 0; 0 |]; [| 1; 1; 2; 1 |]; [| 0; 0; 1; 0 |]; [| 2; 1; 3; 2 |] ]
+  in
+  List.iter
+    (fun v ->
+      let via_jump = Constraint.check jumper v in
+      let fresh = Constraint.create task in
+      let direct = Constraint.check fresh v in
+      Alcotest.(check bool)
+        (Kutil.Vec_key.to_string v ^ " agrees")
+        direct via_jump)
+    states
+
+let test_theta_monotone () =
+  (* A state satisfiable at theta stays satisfiable at any larger theta. *)
+  let task = task_a () in
+  (* Probe a diagonal of in-bounds states of the compact lattice. *)
+  let counts = task.Task.counts in
+  let states =
+    List.init 4 (fun step ->
+        Array.map (fun c -> min c step) counts)
+  in
+  List.iter
+    (fun v ->
+      let at theta =
+        Constraint.check (Constraint.create (Task.with_params ~theta task)) v
+      in
+      List.iter
+        (fun (lo, hi) ->
+          if at lo then
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: theta %.2f -> %.2f" (Kutil.Vec_key.to_string v)
+                 lo hi)
+              true (at hi))
+        [ (0.55, 0.75); (0.75, 0.95) ])
+    states
+
+let test_port_violation_detected () =
+  (* Undraining beyond the SSW headroom without draining must fail. *)
+  let task = task_a () in
+  let ck = Constraint.create task in
+  let n = Action.Set.cardinal task.Task.actions in
+  let v = Kutil.Vec_key.zeros n in
+  (* Fill every undrain type to its maximum with zero drains. *)
+  Array.iteri
+    (fun a count ->
+      let action = Action.Set.get task.Task.actions a in
+      if action.Action.op = Action.Undrain then v.(a) <- count)
+    task.Task.counts;
+  Alcotest.(check bool) "all-undrain state violates ports" false
+    (Constraint.check ck v)
+
+let test_funneling_tightens () =
+  let sc = Gen.scenario_of_label "A" in
+  (* theta 0.9 so a single grid drain is plainly safe (util ~0.78). *)
+  let plain = Task.of_scenario ~theta:0.9 sc in
+  let funneled = Task.of_scenario ~theta:0.9 ~funneling:0.8 sc in
+  (* Find a drain state accepted without funneling. *)
+  let ck_plain = Constraint.create plain in
+  let ck_fun = Constraint.create funneled in
+  let n = Action.Set.cardinal plain.Task.actions in
+  let drain_type =
+    let found = ref (-1) in
+    Array.iteri
+      (fun a _ ->
+        if
+          !found < 0
+          && (Action.Set.get plain.Task.actions a).Action.op = Action.Drain
+        then found := a)
+      plain.Task.counts;
+    !found
+  in
+  let v = Kutil.Vec_key.zeros n in
+  v.(drain_type) <- 1;
+  let block = plain.Task.blocks_by_type.(drain_type).(0) in
+  let ok_plain = Constraint.check ~last_block:block ck_plain v in
+  let ok_funneled = Constraint.check ~last_block:block ck_fun v in
+  Alcotest.(check bool) "plain accepts the single drain" true ok_plain;
+  Alcotest.(check bool) "funneling margin can only reject more" true
+    ((not ok_funneled) || ok_plain)
+
+let test_check_plan_errors () =
+  let task = task_a () in
+  let n = Task.total_blocks task in
+  (match Constraint.check_plan task [] with
+  | Error msg ->
+      Alcotest.(check bool) "length mismatch reported" true
+        (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "empty plan accepted");
+  let dup = List.init n (fun _ -> 0) in
+  (match Constraint.check_plan task dup with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "duplicate blocks accepted");
+  match Constraint.check_plan task [ -1 ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad id accepted"
+
+let test_check_plan_cost () =
+  let task = task_a () in
+  match Astar.plan task with
+  | { Planner.outcome = Planner.Found p; _ } -> (
+      match Constraint.check_plan task p.Plan.blocks with
+      | Ok cost ->
+          Alcotest.check (Alcotest.float 1e-9) "replay cost matches" p.Plan.cost
+            cost
+      | Error e -> Alcotest.fail e)
+  | _ -> Alcotest.fail "A* failed on A"
+
+let test_raw_apply_unapply () =
+  let task = task_a () in
+  let ck = Constraint.create task in
+  let before = Constraint.current_ok ck in
+  Constraint.apply_block ck 0;
+  Constraint.unapply_block ck 0;
+  Alcotest.(check bool) "apply/unapply is identity" before
+    (Constraint.current_ok ck)
+
+let test_min_residual () =
+  let task = task_a () in
+  let ck = Constraint.create task in
+  let r = Constraint.current_min_residual ck in
+  (* theta 0.75, calibrated hottest 0.52: residual = 0.75 - 0.52. *)
+  Alcotest.check (Alcotest.float 1e-6) "origin residual" 0.23 r
+
+let test_cache_behaviour () =
+  let task = task_a () in
+  let ck = Constraint.create task in
+  let cache = Cache.create task in
+  let n = Action.Set.cardinal task.Task.actions in
+  let v = Kutil.Vec_key.zeros n in
+  let r1 = Cache.check cache ck v in
+  let r2 = Cache.check cache ck v in
+  Alcotest.(check bool) "results agree" r1 r2;
+  Alcotest.(check int) "one miss" 1 (Cache.misses cache);
+  Alcotest.(check int) "one hit" 1 (Cache.hits cache);
+  Alcotest.(check int) "one entry" 1 (Cache.size cache);
+  Alcotest.(check int) "one full check" 1 (Constraint.checks_performed ck)
+
+let test_cache_disabled () =
+  let task = task_a () in
+  let ck = Constraint.create task in
+  let cache = Cache.create ~enabled:false task in
+  let v = Kutil.Vec_key.zeros (Action.Set.cardinal task.Task.actions) in
+  ignore (Cache.check cache ck v);
+  ignore (Cache.check cache ck v);
+  Alcotest.(check int) "no hits" 0 (Cache.hits cache);
+  Alcotest.(check int) "two misses" 2 (Cache.misses cache);
+  Alcotest.(check int) "two full checks" 2 (Constraint.checks_performed ck)
+
+let test_cache_mutation_safe () =
+  (* The cache must copy its keys: mutating the probe vector afterwards
+     cannot corrupt the table. *)
+  let task = task_a () in
+  let ck = Constraint.create task in
+  let cache = Cache.create task in
+  let n = Action.Set.cardinal task.Task.actions in
+  let v = Kutil.Vec_key.zeros n in
+  let r0 = Cache.check cache ck v in
+  v.(0) <- 1;
+  ignore (Cache.check cache ck v);
+  v.(0) <- 0;
+  Alcotest.(check bool) "origin still cached correctly" r0
+    (Cache.check cache ck v);
+  Alcotest.(check int) "two distinct entries" 2 (Cache.size cache)
+
+let test_funneling_cache_keys () =
+  (* With funneling on, the same V under different last types must be
+     cached separately. *)
+  let task = Task.of_scenario ~funneling:0.3 (Gen.scenario_of_label "A") in
+  let ck = Constraint.create task in
+  let cache = Cache.create task in
+  let n = Action.Set.cardinal task.Task.actions in
+  let v = Kutil.Vec_key.zeros n in
+  ignore (Cache.check cache ck ~last_type:0 v);
+  ignore (Cache.check cache ck ~last_type:1 v);
+  Alcotest.(check int) "separate entries per last type" 2 (Cache.size cache)
+
+let suite =
+  ( "constraint",
+    [
+      Alcotest.test_case "origin satisfiable" `Quick test_origin_satisfiable;
+      Alcotest.test_case "move_to matches fresh replay" `Quick
+        test_move_to_matches_fresh;
+      Alcotest.test_case "theta monotonicity" `Quick test_theta_monotone;
+      Alcotest.test_case "port violations detected" `Quick
+        test_port_violation_detected;
+      Alcotest.test_case "funneling tightens" `Quick test_funneling_tightens;
+      Alcotest.test_case "check_plan input validation" `Quick
+        test_check_plan_errors;
+      Alcotest.test_case "check_plan cost agrees" `Quick test_check_plan_cost;
+      Alcotest.test_case "raw apply/unapply" `Quick test_raw_apply_unapply;
+      Alcotest.test_case "min residual" `Quick test_min_residual;
+      Alcotest.test_case "cache hit/miss accounting" `Quick test_cache_behaviour;
+      Alcotest.test_case "cache disabled (w/o ESC)" `Quick test_cache_disabled;
+      Alcotest.test_case "cache key copying" `Quick test_cache_mutation_safe;
+      Alcotest.test_case "funneling-aware cache keys" `Quick
+        test_funneling_cache_keys;
+    ] )

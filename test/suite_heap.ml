@@ -1,0 +1,108 @@
+(* Unit and property tests for Kutil.Heap. *)
+
+module Heap = Kutil.Heap
+
+let int_heap () = Heap.create ~compare:Int.compare
+
+let test_empty () =
+  let h = int_heap () in
+  Alcotest.(check int) "length" 0 (Heap.length h);
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "peek" None (Heap.peek h);
+  Alcotest.(check (option int)) "pop" None (Heap.pop h)
+
+let test_push_pop_order () =
+  let h = int_heap () in
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 3 ];
+  Alcotest.(check int) "length" 5 (Heap.length h);
+  Alcotest.(check (option int)) "peek min" (Some 1) (Heap.peek h);
+  Alcotest.(check (list int)) "sorted drain" [ 1; 1; 3; 4; 5 ]
+    (Heap.to_sorted_list h);
+  Alcotest.(check bool) "drained" true (Heap.is_empty h)
+
+let test_pop_exn () =
+  let h = int_heap () in
+  Alcotest.check_raises "empty pop_exn"
+    (Invalid_argument "Heap.pop_exn: empty heap") (fun () ->
+      ignore (Heap.pop_exn h));
+  Heap.push h 7;
+  Alcotest.(check int) "pop_exn" 7 (Heap.pop_exn h)
+
+let test_custom_order () =
+  let h = Heap.create ~compare:(fun a b -> Int.compare b a) in
+  List.iter (Heap.push h) [ 2; 9; 4 ];
+  Alcotest.(check (list int)) "max-heap drain" [ 9; 4; 2 ]
+    (Heap.to_sorted_list h)
+
+let test_clear () =
+  let h = int_heap () in
+  List.iter (Heap.push h) [ 1; 2; 3 ];
+  Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Heap.is_empty h);
+  Heap.push h 9;
+  Alcotest.(check (option int)) "usable after clear" (Some 9) (Heap.pop h)
+
+let test_of_list () =
+  let h = Heap.of_list ~compare:Int.compare [ 3; 1; 2 ] in
+  Alcotest.(check (list int)) "of_list drain" [ 1; 2; 3 ]
+    (Heap.to_sorted_list h)
+
+let test_fold_unordered () =
+  let h = Heap.of_list ~compare:Int.compare [ 4; 2; 6 ] in
+  let sum = Heap.fold_unordered ( + ) 0 h in
+  Alcotest.(check int) "fold sum" 12 sum;
+  Alcotest.(check int) "fold preserves heap" 3 (Heap.length h)
+
+let prop_drain_is_sorted =
+  QCheck.Test.make ~count:200 ~name:"heap drains in sorted order"
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.of_list ~compare:Int.compare xs in
+      Heap.to_sorted_list h = List.sort Int.compare xs)
+
+let prop_interleaved_pops =
+  QCheck.Test.make ~count:200
+    ~name:"interleaved push/pop returns a global minimum"
+    QCheck.(list (pair int bool))
+    (fun ops ->
+      let h = int_heap () in
+      let reference = ref [] in
+      List.for_all
+        (fun (x, do_pop) ->
+          if do_pop then begin
+            let expected =
+              match List.sort Int.compare !reference with
+              | [] -> None
+              | m :: _ -> Some m
+            in
+            let got = Heap.pop h in
+            (match got with
+            | Some v ->
+                let rec remove = function
+                  | [] -> []
+                  | z :: tl -> if z = v then tl else z :: remove tl
+                in
+                reference := remove !reference
+            | None -> ());
+            got = expected
+          end
+          else begin
+            Heap.push h x;
+            reference := x :: !reference;
+            true
+          end)
+        ops)
+
+let suite =
+  ( "heap",
+    [
+      Alcotest.test_case "empty heap" `Quick test_empty;
+      Alcotest.test_case "push/pop order" `Quick test_push_pop_order;
+      Alcotest.test_case "pop_exn" `Quick test_pop_exn;
+      Alcotest.test_case "custom comparison" `Quick test_custom_order;
+      Alcotest.test_case "clear" `Quick test_clear;
+      Alcotest.test_case "of_list" `Quick test_of_list;
+      Alcotest.test_case "fold_unordered" `Quick test_fold_unordered;
+      QCheck_alcotest.to_alcotest prop_drain_is_sorted;
+      QCheck_alcotest.to_alcotest prop_interleaved_pops;
+    ] )

@@ -1,0 +1,234 @@
+(* Tests for the NPD format: lexer, parser, printer and conversion. *)
+
+let test_lexer_tokens () =
+  let lx = Npd_lexer.create "npd \"x\" { a = 1 b = 2.5 c = \"s\" d = true }" in
+  let rec drain acc =
+    match Npd_lexer.next lx with
+    | Npd_lexer.Eof, _ -> List.rev acc
+    | t, _ -> drain (t :: acc)
+  in
+  Alcotest.(check int) "token count" 16 (List.length (drain []))
+
+let test_lexer_comments_and_escapes () =
+  let lx = Npd_lexer.create "# comment\nname # trailing\n\"a\\nb\\\"c\"" in
+  (match Npd_lexer.next lx with
+  | Npd_lexer.Ident "name", _ -> ()
+  | _ -> Alcotest.fail "expected ident");
+  match Npd_lexer.next lx with
+  | Npd_lexer.String_lit s, _ -> Alcotest.(check string) "escapes" "a\nb\"c" s
+  | _ -> Alcotest.fail "expected string"
+
+let test_lexer_numbers () =
+  let lx = Npd_lexer.create "42 -17 3.5 -0.25 1e3" in
+  let expect_token expected =
+    let t, _ = Npd_lexer.next lx in
+    Alcotest.(check string) "token" expected (Npd_lexer.token_to_string t)
+  in
+  expect_token "integer 42";
+  expect_token "integer -17";
+  expect_token "float 3.5";
+  expect_token "float -0.25";
+  expect_token "float 1000"
+
+let test_lexer_errors () =
+  let lx = Npd_lexer.create "\"unterminated" in
+  (match Npd_lexer.next lx with
+  | exception Npd_lexer.Lex_error (_, _) -> ()
+  | _ -> Alcotest.fail "unterminated string accepted");
+  let lx2 = Npd_lexer.create "@" in
+  match Npd_lexer.next lx2 with
+  | exception Npd_lexer.Lex_error (msg, pos) ->
+      Alcotest.(check int) "line" 1 pos.Npd_lexer.line;
+      Alcotest.(check bool) "message mentions char" true (String.length msg > 0)
+  | _ -> Alcotest.fail "stray character accepted"
+
+let test_parser_minimal () =
+  match Npd_parser.parse_result "npd \"r\" { eb { count = 4 } }" with
+  | Ok doc ->
+      Alcotest.(check string) "doc name" "r" doc.Npd_ast.doc_name;
+      (match Npd_ast.find_section doc "eb" with
+      | Some s -> Alcotest.(check int) "field" 4 (Npd_ast.int_field s "count" ~default:0)
+      | None -> Alcotest.fail "missing section")
+  | Error e -> Alcotest.fail e
+
+let test_parser_nested_and_args () =
+  let src =
+    "npd \"r\" { hgrid generation=2 mesh=1 { grids = 3 inner { x = true } } }"
+  in
+  match Npd_parser.parse_result src with
+  | Ok doc -> (
+      match Npd_ast.find_section doc "hgrid" with
+      | Some s ->
+          Alcotest.(check int) "two args" 2 (List.length s.Npd_ast.args);
+          Alcotest.(check int) "entries" 2 (List.length s.Npd_ast.entries)
+      | None -> Alcotest.fail "missing hgrid")
+  | Error e -> Alcotest.fail e
+
+let test_parser_error_positions () =
+  match Npd_parser.parse_result "npd \"r\" {\n  fabric {\n    a = = \n} }" with
+  | Error msg ->
+      Alcotest.(check bool) "mentions line 3" true
+        (String.length msg > 0
+        &&
+        let prefix = "line 3" in
+        String.length msg >= String.length prefix
+        && String.sub msg 0 (String.length prefix) = prefix)
+  | Ok _ -> Alcotest.fail "bad document accepted"
+
+let test_parser_rejects_trailing () =
+  match Npd_parser.parse_result "npd \"r\" { } garbage" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing input accepted"
+
+let test_printer_roundtrip_fixed () =
+  let doc = Npd_convert.of_params Gen.Hgrid_v1_to_v2 (Gen.params_a ()) in
+  match Npd_parser.parse_result (Npd_printer.to_string doc) with
+  | Ok doc' -> Alcotest.(check bool) "roundtrip" true (Npd_ast.equal doc doc')
+  | Error e -> Alcotest.fail e
+
+(* Random-document printer/parser roundtrip. *)
+let gen_value =
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.map (fun i -> Npd_ast.Int i) QCheck.Gen.small_signed_int;
+      QCheck.Gen.map (fun f -> Npd_ast.Float f) (QCheck.Gen.float_bound_inclusive 1000.0);
+      QCheck.Gen.map (fun b -> Npd_ast.Bool b) QCheck.Gen.bool;
+      QCheck.Gen.map
+        (fun s -> Npd_ast.String s)
+        (QCheck.Gen.string_size ~gen:(QCheck.Gen.char_range 'a' 'z')
+           (QCheck.Gen.int_range 0 8));
+    ]
+
+let gen_ident =
+  QCheck.Gen.map
+    (fun s -> "k" ^ s)
+    (QCheck.Gen.string_size ~gen:(QCheck.Gen.char_range 'a' 'z')
+       (QCheck.Gen.int_range 0 6))
+
+let rec gen_section depth =
+  let open QCheck.Gen in
+  let* name = gen_ident in
+  let* args = list_size (int_range 0 2) (pair gen_ident gen_value) in
+  let* entries =
+    list_size (int_range 0 4)
+      (if depth = 0 then map (fun (k, v) -> Npd_ast.Field (k, v)) (pair gen_ident gen_value)
+       else
+         frequency
+           [
+             (3, map (fun (k, v) -> Npd_ast.Field (k, v)) (pair gen_ident gen_value));
+             (1, map (fun s -> Npd_ast.Section s) (gen_section (depth - 1)));
+           ])
+  in
+  return { Npd_ast.name; args; entries }
+
+let gen_doc =
+  let open QCheck.Gen in
+  let* doc_name =
+    QCheck.Gen.string_size ~gen:(QCheck.Gen.char_range 'a' 'z')
+      (QCheck.Gen.int_range 0 10)
+  in
+  let* sections = list_size (int_range 0 4) (gen_section 2) in
+  return { Npd_ast.doc_name; sections }
+
+let prop_print_parse_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"printer/parser round trip"
+    (QCheck.make gen_doc) (fun doc ->
+      match Npd_parser.parse_result (Npd_printer.to_string doc) with
+      | Ok doc' -> Npd_ast.equal doc doc'
+      | Error _ -> false)
+
+let test_convert_roundtrip_all () =
+  List.iter
+    (fun (kind, params) ->
+      let doc = Npd_convert.of_params kind params in
+      match Npd_convert.to_params doc with
+      | Ok (kind', params') ->
+          Alcotest.(check bool) "kind" true (kind = kind');
+          Alcotest.(check bool) "params" true (params = params')
+      | Error e -> Alcotest.fail e)
+    [
+      (Gen.Hgrid_v1_to_v2, Gen.params_a ());
+      (Gen.Ssw_forklift, Gen.params_b ());
+      (Gen.Dmag, { (Gen.params_a ()) with Gen.mas = 6 });
+    ]
+
+let test_convert_missing_section () =
+  match Npd_convert.to_params { Npd_ast.doc_name = "x"; sections = [] } with
+  | Error msg ->
+      Alcotest.(check bool) "names the section" true
+        (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "empty document accepted"
+
+let test_to_scenario () =
+  let doc = Npd_convert.of_params Gen.Hgrid_v1_to_v2 (Gen.params_a ()) in
+  match Npd_convert.to_scenario doc with
+  | Ok sc ->
+      let reference = Gen.stats (Gen.scenario_of_label "A") in
+      let st = Gen.stats sc in
+      Alcotest.(check int) "same switches" reference.Gen.orig_switches
+        st.Gen.orig_switches;
+      Alcotest.(check int) "same actions" reference.Gen.actions st.Gen.actions
+  | Error e -> Alcotest.fail e
+
+let test_load_scenario_file () =
+  let path = Filename.temp_file "npd_test" ".npd" in
+  let doc = Npd_convert.of_params Gen.Hgrid_v1_to_v2 (Gen.params_a ()) in
+  (match Npd_printer.write_file path doc with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Npd_convert.load_scenario path with
+  | Ok sc -> Alcotest.(check string) "name" "A/HGRID V1->V2" sc.Gen.name
+  | Error e -> Alcotest.fail e);
+  Sys.remove path;
+  match Npd_convert.load_scenario "/nonexistent/file.npd" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing file accepted"
+
+let test_field_accessors () =
+  let section =
+    {
+      Npd_ast.name = "s";
+      args = [];
+      entries =
+        [
+          Npd_ast.Field ("i", Npd_ast.Int 3);
+          Npd_ast.Field ("f", Npd_ast.Float 2.0);
+          Npd_ast.Field ("s", Npd_ast.String "v");
+        ];
+    }
+  in
+  Alcotest.(check int) "int" 3 (Npd_ast.int_field section "i" ~default:0);
+  Alcotest.(check int) "float as int" 2 (Npd_ast.int_field section "f" ~default:0);
+  Alcotest.(check int) "default" 9 (Npd_ast.int_field section "missing" ~default:9);
+  Alcotest.check (Alcotest.float 1e-9) "int as float" 3.0
+    (Npd_ast.float_field section "i" ~default:0.0);
+  Alcotest.(check string) "string" "v" (Npd_ast.string_field section "s" ~default:"");
+  match Npd_ast.int_field section "s" ~default:0 with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "string accepted as int"
+
+let suite =
+  ( "npd",
+    [
+      Alcotest.test_case "lexer tokens" `Quick test_lexer_tokens;
+      Alcotest.test_case "lexer comments and escapes" `Quick
+        test_lexer_comments_and_escapes;
+      Alcotest.test_case "lexer numbers" `Quick test_lexer_numbers;
+      Alcotest.test_case "lexer errors" `Quick test_lexer_errors;
+      Alcotest.test_case "parser minimal document" `Quick test_parser_minimal;
+      Alcotest.test_case "parser nesting and args" `Quick
+        test_parser_nested_and_args;
+      Alcotest.test_case "parser error positions" `Quick
+        test_parser_error_positions;
+      Alcotest.test_case "parser rejects trailing input" `Quick
+        test_parser_rejects_trailing;
+      Alcotest.test_case "printer round trip (fixed)" `Quick
+        test_printer_roundtrip_fixed;
+      QCheck_alcotest.to_alcotest prop_print_parse_roundtrip;
+      Alcotest.test_case "convert round trips" `Quick test_convert_roundtrip_all;
+      Alcotest.test_case "convert missing sections" `Quick
+        test_convert_missing_section;
+      Alcotest.test_case "document to scenario" `Quick test_to_scenario;
+      Alcotest.test_case "file loading" `Quick test_load_scenario_file;
+      Alcotest.test_case "field accessors" `Quick test_field_accessors;
+    ] )

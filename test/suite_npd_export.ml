@@ -1,0 +1,74 @@
+(* Tests for the plan-to-NPD export and its round trip. *)
+
+let fixture () =
+  let task = Task.of_scenario (Gen.scenario_of_label "A") in
+  match Astar.plan task with
+  | { Planner.outcome = Planner.Found p; _ } -> (task, p)
+  | _ -> Alcotest.fail "planning failed"
+
+let test_document_shape () =
+  let task, plan = fixture () in
+  let doc = Npd_export.plan_to_npd task plan in
+  Alcotest.(check string) "name" ("plan:" ^ task.Task.name)
+    doc.Npd_ast.doc_name;
+  Alcotest.(check int) "one section per phase"
+    (List.length plan.Plan.runs)
+    (List.length doc.Npd_ast.sections)
+
+let test_roundtrip () =
+  let task, plan = fixture () in
+  let doc = Npd_export.plan_to_npd task plan in
+  (* Through the text representation and back. *)
+  let text = Npd_printer.to_string doc in
+  let doc' =
+    match Npd_parser.parse_result text with
+    | Ok d -> d
+    | Error e -> Alcotest.fail e
+  in
+  match Npd_export.phases_of_npd doc' with
+  | Error e -> Alcotest.fail e
+  | Ok phases ->
+      let reference = Klotski.phases task plan in
+      Alcotest.(check int) "phase count" (List.length reference)
+        (List.length phases);
+      List.iter2
+        (fun (ph : Klotski.phase) (summary : Npd_export.phase_summary) ->
+          Alcotest.(check int) "index" ph.Klotski.index summary.Npd_export.index;
+          Alcotest.(check string) "action"
+            (Action.to_string ph.Klotski.action)
+            summary.Npd_export.action;
+          Alcotest.(check (list string))
+            "blocks" ph.Klotski.block_labels summary.Npd_export.blocks;
+          Alcotest.(check int) "switches" ph.Klotski.switches_touched
+            summary.Npd_export.switches;
+          Alcotest.(check (array int)) "state" ph.Klotski.state
+            summary.Npd_export.state)
+        reference phases
+
+let test_bad_documents () =
+  (match
+     Npd_export.phases_of_npd
+       {
+         Npd_ast.doc_name = "x";
+         sections = [ { Npd_ast.name = "weird"; args = []; entries = [] } ];
+       }
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "foreign section accepted");
+  match
+    Npd_export.phases_of_npd
+      {
+        Npd_ast.doc_name = "x";
+        sections = [ { Npd_ast.name = "phase"; args = []; entries = [] } ];
+      }
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "phase without index accepted"
+
+let suite =
+  ( "npd_export",
+    [
+      Alcotest.test_case "document shape" `Quick test_document_shape;
+      Alcotest.test_case "round trip" `Quick test_roundtrip;
+      Alcotest.test_case "bad documents rejected" `Quick test_bad_documents;
+    ] )

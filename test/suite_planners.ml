@@ -1,0 +1,324 @@
+(* Planner integration tests: optimality cross-checks on small instances
+   (A* = DP = exhaustive oracle), plan validity, baseline behaviour, and
+   ablation equivalences. *)
+
+let cfg = Planner.with_budget (Some 60.0)
+
+(* Small randomized HGRID scenarios: up to ~8 operation blocks so the
+   exhaustive oracle stays instant. *)
+let random_params seed =
+  let g = Kutil.Prng.create ~seed in
+  {
+    (Gen.params_a ()) with
+    Gen.label = Printf.sprintf "rand%d" seed;
+    dcs = 1 + Kutil.Prng.int g 2;
+    rsws_per_pod = 1 + Kutil.Prng.int g 2;
+    v1_grids = 1 + Kutil.Prng.int g 3;
+    v2_grids = 2 + Kutil.Prng.int g 3;
+    mesh_variants = 1 + Kutil.Prng.int g 2;
+    ssw_port_headroom = 1 + Kutil.Prng.int g 2;
+  }
+
+let random_task seed =
+  let sc = Gen.build Gen.Hgrid_v1_to_v2 (random_params seed) in
+  Task.of_scenario ~seed sc
+
+let cost_of outcome =
+  match outcome with
+  | Planner.Found p -> Some p.Plan.cost
+  | Planner.Infeasible -> None
+  | Planner.Timeout _ | Planner.Unsupported _ ->
+      Alcotest.fail "unexpected timeout/unsupported on a small instance"
+
+let test_optimality_cross_check () =
+  for seed = 1 to 12 do
+    let task = random_task seed in
+    let astar = (Astar.plan ~config:cfg task).Planner.outcome in
+    let dp = (Dp.plan ~config:cfg task).Planner.outcome in
+    let oracle =
+      (Exhaustive.plan ~config:cfg ~bound:`Heuristic task).Planner.outcome
+    in
+    let ca = cost_of astar and cd = cost_of dp and co = cost_of oracle in
+    Alcotest.(check (option (float 1e-9)))
+      (Printf.sprintf "seed %d: A* = oracle" seed)
+      co ca;
+    Alcotest.(check (option (float 1e-9)))
+      (Printf.sprintf "seed %d: DP = oracle" seed)
+      co cd;
+    (* Every produced plan must survive the independent audit. *)
+    List.iter
+      (fun outcome ->
+        match outcome with
+        | Planner.Found p -> (
+            match Plan.validate task p with
+            | Ok () -> ()
+            | Error e -> Alcotest.fail (Printf.sprintf "seed %d: %s" seed e))
+        | Planner.Infeasible | Planner.Timeout _ | Planner.Unsupported _ -> ())
+      [ astar; dp; oracle ]
+  done
+
+let test_optimality_with_alpha () =
+  for seed = 1 to 6 do
+    let sc = Gen.build Gen.Hgrid_v1_to_v2 (random_params seed) in
+    let task = Task.of_scenario ~alpha:0.4 ~seed sc in
+    let ca = cost_of (Astar.plan ~config:cfg task).Planner.outcome in
+    let cd = cost_of (Dp.plan ~config:cfg task).Planner.outcome in
+    let co =
+      cost_of
+        (Exhaustive.plan ~config:cfg ~bound:`Heuristic task).Planner.outcome
+    in
+    Alcotest.(check (option (float 1e-9)))
+      (Printf.sprintf "alpha seed %d: A* = oracle" seed)
+      co ca;
+    Alcotest.(check (option (float 1e-9)))
+      (Printf.sprintf "alpha seed %d: DP = oracle" seed)
+      co cd
+  done
+
+let test_janus_optimal_when_supported () =
+  for seed = 1 to 4 do
+    let task = random_task seed in
+    let cj = cost_of (Janus.plan ~config:cfg task).Planner.outcome in
+    let ca = cost_of (Astar.plan ~config:cfg task).Planner.outcome in
+    Alcotest.(check (option (float 1e-9)))
+      (Printf.sprintf "seed %d: Janus finds the optimum" seed)
+      ca cj
+  done
+
+let test_mrc_never_better () =
+  for seed = 1 to 6 do
+    let task = random_task seed in
+    match
+      ( (Mrc.plan ~config:cfg task).Planner.outcome,
+        (Astar.plan ~config:cfg task).Planner.outcome )
+    with
+    | Planner.Found mrc, Planner.Found opt ->
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: MRC >= optimal" seed)
+          true
+          (mrc.Plan.cost >= opt.Plan.cost -. 1e-9);
+        (match Plan.validate task mrc with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail ("MRC plan invalid: " ^ e))
+    | Planner.Infeasible, Planner.Infeasible -> ()
+    | Planner.Infeasible, Planner.Found _ ->
+        () (* greedy dead-ends are permitted *)
+    | Planner.Found _, Planner.Infeasible ->
+        Alcotest.fail "MRC found a plan where none exists"
+    | _ -> ()
+  done
+
+let test_ablations_agree_on_cost () =
+  let task = random_task 3 in
+  let opt = cost_of (Astar.plan ~config:cfg task).Planner.outcome in
+  let no_esc =
+    cost_of
+      (Astar.plan ~dedup:false
+         ~config:{ cfg with Planner.use_cache = false }
+         task)
+        .Planner.outcome
+  in
+  let no_astar =
+    cost_of (Exhaustive.plan ~config:cfg ~bound:`Cost_only task).Planner.outcome
+  in
+  Alcotest.(check (option (float 1e-9))) "w/o ESC same optimum" opt no_esc;
+  Alcotest.(check (option (float 1e-9))) "w/o A* same optimum" opt no_astar
+
+let test_without_ob_feasible () =
+  (* The w/o-OB ablation plans at symmetry granularity.  Its cost is not
+     comparable to the merged-block cost (splitting a grid block separates
+     the FADU and FAUU action types), but whenever the merged task is
+     feasible, the finer one must be too, and its plan must audit clean. *)
+  let sc = Gen.build Gen.Hgrid_v1_to_v2 (random_params 2) in
+  let ob_task = Task.of_scenario ~seed:2 sc in
+  let sym_task =
+    Task.of_scenario ~seed:2 ~blocks:(Blocks.symmetry_granularity sc) sc
+  in
+  match
+    ( (Astar.plan ~config:cfg ob_task).Planner.outcome,
+      (Astar.plan ~config:cfg sym_task).Planner.outcome )
+  with
+  | Planner.Found _, Planner.Found sym -> (
+      match Plan.validate sym_task sym with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+  | Planner.Found _, _ ->
+      Alcotest.fail "finer granularity lost feasibility"
+  | Planner.Infeasible, _ -> ()
+  | _ -> Alcotest.fail "unexpected outcome"
+
+let test_infeasible_detection () =
+  (* theta below the calibrated origin utilization: even the origin's
+     successors violate Eq. 5, so every planner must prove infeasibility. *)
+  let sc = Gen.scenario_of_label "A" in
+  let task = Task.of_scenario ~theta:0.3 ~target_util:0.52 sc in
+  List.iter
+    (fun (name, outcome) ->
+      match outcome with
+      | Planner.Infeasible -> ()
+      | Planner.Found _ -> Alcotest.fail (name ^ " found an impossible plan")
+      | Planner.Timeout _ | Planner.Unsupported _ ->
+          Alcotest.fail (name ^ " did not prove infeasibility"))
+    [
+      ("A*", (Astar.plan ~config:cfg task).Planner.outcome);
+      ("DP", (Dp.plan ~config:cfg task).Planner.outcome);
+      ("exhaustive", (Exhaustive.plan ~config:cfg task).Planner.outcome);
+      ("MRC", (Mrc.plan ~config:cfg task).Planner.outcome);
+      ("Janus", (Janus.plan ~config:cfg task).Planner.outcome);
+    ]
+
+let test_unsupported_on_dmag () =
+  let p = { (Gen.params_a ()) with Gen.mas = 6 } in
+  let task = Task.of_scenario (Gen.build Gen.Dmag p) in
+  (match (Mrc.plan ~config:cfg task).Planner.outcome with
+  | Planner.Unsupported _ -> ()
+  | _ -> Alcotest.fail "MRC accepted a topology-changing migration");
+  (match (Janus.plan ~config:cfg task).Planner.outcome with
+  | Planner.Unsupported _ -> ()
+  | _ -> Alcotest.fail "Janus accepted a topology-changing migration");
+  match (Astar.plan ~config:cfg task).Planner.outcome with
+  | Planner.Found p -> (
+      match Plan.validate task p with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+  | _ -> Alcotest.fail "Klotski should plan DMAG"
+
+let test_forklift_planning () =
+  let task = Task.of_scenario (Gen.build Gen.Ssw_forklift (Gen.params_a ())) in
+  match (Astar.plan ~config:cfg task).Planner.outcome with
+  | Planner.Found p -> (
+      match Plan.validate task p with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+  | Planner.Infeasible -> Alcotest.fail "forklift A is feasible by design"
+  | _ -> Alcotest.fail "unexpected outcome"
+
+let test_timeout_reported () =
+  let task = Task.of_scenario (Gen.scenario_of_label "B") in
+  match
+    (Astar.plan ~config:{ Planner.budget_seconds = Some 1e-9; use_cache = true }
+       task)
+      .Planner.outcome
+  with
+  | Planner.Timeout _ -> ()
+  | _ -> Alcotest.fail "zero budget must time out"
+
+let test_heuristic_guides_astar () =
+  (* A* must expand no more states than DP on the same task. *)
+  let task = Task.of_scenario (Gen.scenario_of_label "B") in
+  let a = Astar.plan ~config:cfg task in
+  let d = Dp.plan ~config:cfg task in
+  Alcotest.(check bool) "A* expands <= DP" true
+    (a.Planner.stats.Planner.expanded <= d.Planner.stats.Planner.expanded)
+
+let test_secondary_priority_depth_first () =
+  (* On topology A the search should be near-linear: expansions within a
+     small multiple of the plan length. *)
+  let task = Task.of_scenario (Gen.scenario_of_label "A") in
+  match Astar.plan ~config:cfg task with
+  | { Planner.outcome = Planner.Found p; Planner.stats; _ } ->
+      Alcotest.(check bool) "near-linear expansion" true
+        (stats.Planner.expanded <= 4 * Plan.length p)
+  | _ -> Alcotest.fail "A* failed"
+
+(* Randomized end-to-end property: for random small instances and random
+   constraint/cost parameters, A* and the exhaustive oracle agree on the
+   optimum (or both prove infeasibility), and every A* plan audits. *)
+let prop_astar_equals_oracle =
+  QCheck.Test.make ~count:25 ~name:"A* = oracle over random parameters"
+    QCheck.(
+      triple (int_range 1 1000)
+        (pair (float_range 0.55 0.95) (float_bound_inclusive 1.0))
+        bool)
+    (fun (seed, (theta, alpha), with_weights) ->
+      let sc = Gen.build Gen.Hgrid_v1_to_v2 (random_params seed) in
+      let base = Task.of_scenario ~theta ~alpha ~seed sc in
+      let task =
+        if with_weights then begin
+          let n = Action.Set.cardinal base.Task.actions in
+          let g = Kutil.Prng.create ~seed:(seed + 7) in
+          Task.with_params
+            ~type_weights:
+              (Array.init n (fun _ -> Kutil.Prng.uniform g ~lo:0.5 ~hi:3.0))
+            base
+        end
+        else base
+      in
+      let astar = (Astar.plan ~config:cfg task).Planner.outcome in
+      let oracle =
+        (Exhaustive.plan ~config:cfg ~bound:`Heuristic task).Planner.outcome
+      in
+      match (astar, oracle) with
+      | Planner.Infeasible, Planner.Infeasible -> true
+      | Planner.Found a, Planner.Found o ->
+          Float.abs (a.Plan.cost -. o.Plan.cost) < 1e-9
+          && Plan.validate task a = Ok ()
+      | _ -> false)
+
+(* Appended: the score-guided greedy planner of §7.3's guided-search idea. *)
+let test_greedy_valid_and_never_better () =
+  for seed = 1 to 8 do
+    let task = random_task seed in
+    match
+      ( (Greedy.plan ~config:cfg task).Planner.outcome,
+        (Astar.plan ~config:cfg task).Planner.outcome )
+    with
+    | Planner.Found g, Planner.Found opt ->
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: greedy >= optimal" seed)
+          true
+          (g.Plan.cost >= opt.Plan.cost -. 1e-9);
+        (match Plan.validate task g with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail ("greedy plan invalid: " ^ e))
+    | Planner.Infeasible, _ -> () (* greedy dead-ends are allowed *)
+    | Planner.Found _, Planner.Infeasible ->
+        Alcotest.fail "greedy planned the impossible"
+    | _ -> ()
+  done
+
+let test_greedy_is_cheap () =
+  let task = Task.of_scenario (Gen.scenario_of_label "B") in
+  match Greedy.plan ~config:cfg task with
+  | { Planner.outcome = Planner.Found _; Planner.stats; _ } ->
+      let bound =
+        Task.total_blocks task * Action.Set.cardinal task.Task.actions
+      in
+      Alcotest.(check bool) "O(L*A) checks" true
+        (stats.Planner.sat_checks + stats.Planner.cache_hits <= bound)
+  | _ -> Alcotest.fail "greedy should solve B"
+
+let greedy_suite =
+  [
+    Alcotest.test_case "greedy valid and never better" `Slow
+      test_greedy_valid_and_never_better;
+    Alcotest.test_case "greedy check budget" `Quick test_greedy_is_cheap;
+  ]
+
+let suite =
+  ( "planners",
+    [
+      Alcotest.test_case "A* = DP = oracle on random instances" `Slow
+        test_optimality_cross_check;
+      Alcotest.test_case "optimality under alpha > 0" `Slow
+        test_optimality_with_alpha;
+      Alcotest.test_case "Janus optimal when supported" `Slow
+        test_janus_optimal_when_supported;
+      Alcotest.test_case "MRC never beats the optimum" `Slow
+        test_mrc_never_better;
+      Alcotest.test_case "ablations find the same optimum" `Quick
+        test_ablations_agree_on_cost;
+      Alcotest.test_case "finer blocks stay feasible" `Quick
+        test_without_ob_feasible;
+      Alcotest.test_case "infeasibility detection" `Quick
+        test_infeasible_detection;
+      Alcotest.test_case "baselines refuse DMAG" `Quick test_unsupported_on_dmag;
+      Alcotest.test_case "forklift planning" `Quick test_forklift_planning;
+      Alcotest.test_case "timeout reporting" `Quick test_timeout_reported;
+      Alcotest.test_case "A* expands no more than DP" `Quick
+        test_heuristic_guides_astar;
+      Alcotest.test_case "secondary priority keeps search linear" `Quick
+        test_secondary_priority_depth_first;
+      QCheck_alcotest.to_alcotest prop_astar_equals_oracle;
+    ]
+    @ greedy_suite )

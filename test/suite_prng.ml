@@ -1,0 +1,98 @@
+(* Tests for Kutil.Prng (SplitMix64). *)
+
+module Prng = Kutil.Prng
+
+let test_determinism () =
+  let a = Prng.create ~seed:123 and b = Prng.create ~seed:123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  Alcotest.(check bool) "different seeds differ" true
+    (Prng.next_int64 a <> Prng.next_int64 b)
+
+let test_split_independent () =
+  let g = Prng.create ~seed:5 in
+  let child = Prng.split g in
+  Alcotest.(check bool) "child differs from parent stream" true
+    (Prng.next_int64 child <> Prng.next_int64 g)
+
+let test_int_bounds () =
+  let g = Prng.create ~seed:9 in
+  for _ = 1 to 1000 do
+    let x = Prng.int g 7 in
+    if x < 0 || x >= 7 then Alcotest.fail "int out of range"
+  done;
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+      ignore (Prng.int g 0))
+
+let test_float_bounds () =
+  let g = Prng.create ~seed:11 in
+  for _ = 1 to 1000 do
+    let x = Prng.float g 2.5 in
+    if x < 0.0 || x >= 2.5 then Alcotest.fail "float out of range"
+  done
+
+let test_uniform_range () =
+  let g = Prng.create ~seed:13 in
+  for _ = 1 to 500 do
+    let x = Prng.uniform g ~lo:(-1.0) ~hi:1.0 in
+    if x < -1.0 || x >= 1.0 then Alcotest.fail "uniform out of range"
+  done
+
+let test_gaussian_moments () =
+  let g = Prng.create ~seed:17 in
+  let n = 20_000 in
+  let samples = Array.init n (fun _ -> Prng.gaussian g ~mu:3.0 ~sigma:2.0) in
+  let mean = Kutil.Stats.mean samples in
+  let sd = Kutil.Stats.stddev samples in
+  Alcotest.(check bool) "mean near 3" true (Float.abs (mean -. 3.0) < 0.1);
+  Alcotest.(check bool) "stddev near 2" true (Float.abs (sd -. 2.0) < 0.1)
+
+let test_exponential () =
+  let g = Prng.create ~seed:19 in
+  let n = 20_000 in
+  let samples = Array.init n (fun _ -> Prng.exponential g ~rate:2.0) in
+  Array.iter (fun x -> if x < 0.0 then Alcotest.fail "negative sample") samples;
+  let mean = Kutil.Stats.mean samples in
+  Alcotest.(check bool) "mean near 1/rate" true (Float.abs (mean -. 0.5) < 0.05);
+  Alcotest.check_raises "bad rate"
+    (Invalid_argument "Prng.exponential: rate must be positive") (fun () ->
+      ignore (Prng.exponential g ~rate:0.0))
+
+let test_pick () =
+  let g = Prng.create ~seed:23 in
+  let a = [| "x"; "y"; "z" |] in
+  for _ = 1 to 50 do
+    let v = Prng.pick g a in
+    if not (Array.exists (String.equal v) a) then Alcotest.fail "pick foreign"
+  done;
+  Alcotest.check_raises "empty pick" (Invalid_argument "Prng.pick: empty array")
+    (fun () -> ignore (Prng.pick g [||]))
+
+let prop_shuffle_is_permutation =
+  QCheck.Test.make ~count:200 ~name:"shuffle preserves multiset"
+    QCheck.(pair int (list int))
+    (fun (seed, xs) ->
+      let g = Prng.create ~seed in
+      let a = Array.of_list xs in
+      Prng.shuffle g a;
+      List.sort compare (Array.to_list a) = List.sort compare xs)
+
+let suite =
+  ( "prng",
+    [
+      Alcotest.test_case "determinism" `Quick test_determinism;
+      Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+      Alcotest.test_case "split independence" `Quick test_split_independent;
+      Alcotest.test_case "int bounds" `Quick test_int_bounds;
+      Alcotest.test_case "float bounds" `Quick test_float_bounds;
+      Alcotest.test_case "uniform range" `Quick test_uniform_range;
+      Alcotest.test_case "gaussian moments" `Slow test_gaussian_moments;
+      Alcotest.test_case "exponential" `Slow test_exponential;
+      Alcotest.test_case "pick" `Quick test_pick;
+      QCheck_alcotest.to_alcotest prop_shuffle_is_permutation;
+    ] )

@@ -1,0 +1,84 @@
+(* Tests for Kutil.Stats. *)
+
+module Stats = Kutil.Stats
+
+let feq = Alcotest.float 1e-9
+
+let test_mean () =
+  Alcotest.check feq "mean" 2.5 (Stats.mean [| 1.0; 2.0; 3.0; 4.0 |]);
+  Alcotest.check feq "empty mean" 0.0 (Stats.mean [||])
+
+let test_stddev () =
+  Alcotest.check feq "constant" 0.0 (Stats.stddev [| 5.0; 5.0; 5.0 |]);
+  Alcotest.check (Alcotest.float 1e-6) "known" 2.0
+    (Stats.stddev [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |]);
+  Alcotest.check feq "singleton" 0.0 (Stats.stddev [| 42.0 |])
+
+let test_min_max () =
+  let lo, hi = Stats.min_max [| 3.0; -1.0; 7.0 |] in
+  Alcotest.check feq "min" (-1.0) lo;
+  Alcotest.check feq "max" 7.0 hi;
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.min_max: empty array")
+    (fun () -> ignore (Stats.min_max [||]))
+
+let test_percentile () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  Alcotest.check feq "p0" 1.0 (Stats.percentile xs 0.0);
+  Alcotest.check feq "p50" 3.0 (Stats.percentile xs 50.0);
+  Alcotest.check feq "p100" 5.0 (Stats.percentile xs 100.0);
+  Alcotest.check feq "p25 interpolates" 2.0 (Stats.percentile xs 25.0);
+  Alcotest.check feq "median alias" 3.0 (Stats.median xs);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Stats.percentile xs 101.0))
+
+let test_percentile_unsorted_input () =
+  Alcotest.check feq "unsorted input" 3.0
+    (Stats.percentile [| 5.0; 1.0; 3.0; 2.0; 4.0 |] 50.0)
+
+let test_sum () =
+  Alcotest.check feq "sum" 6.0 (Stats.sum [| 1.0; 2.0; 3.0 |]);
+  Alcotest.check feq "empty sum" 0.0 (Stats.sum [||])
+
+let test_normalize () =
+  Alcotest.(check (array (float 1e-9)))
+    "normalize" [| 0.5; 1.0 |]
+    (Stats.normalize_by 2.0 [| 1.0; 2.0 |]);
+  Alcotest.check_raises "zero base"
+    (Invalid_argument "Stats.normalize_by: zero base") (fun () ->
+      ignore (Stats.normalize_by 0.0 [| 1.0 |]))
+
+let prop_mean_bounded =
+  QCheck.Test.make ~count:200 ~name:"mean lies within [min, max]"
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_bound_inclusive 1000.0))
+    (fun xs ->
+      let a = Array.of_list xs in
+      let lo, hi = Stats.min_max a in
+      let m = Stats.mean a in
+      m >= lo -. 1e-9 && m <= hi +. 1e-9)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~count:200 ~name:"percentile is monotone in p"
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 30) (float_bound_inclusive 100.0))
+        (pair (float_bound_inclusive 100.0) (float_bound_inclusive 100.0)))
+    (fun (xs, (p1, p2)) ->
+      let a = Array.of_list xs in
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Stats.percentile a lo <= Stats.percentile a hi +. 1e-9)
+
+let suite =
+  ( "stats",
+    [
+      Alcotest.test_case "mean" `Quick test_mean;
+      Alcotest.test_case "stddev" `Quick test_stddev;
+      Alcotest.test_case "min/max" `Quick test_min_max;
+      Alcotest.test_case "percentile" `Quick test_percentile;
+      Alcotest.test_case "percentile on unsorted input" `Quick
+        test_percentile_unsorted_input;
+      Alcotest.test_case "kahan sum" `Quick test_sum;
+      Alcotest.test_case "normalize" `Quick test_normalize;
+      QCheck_alcotest.to_alcotest prop_mean_bounded;
+      QCheck_alcotest.to_alcotest prop_percentile_monotone;
+    ] )

@@ -1,0 +1,331 @@
+(* Tests for the traffic substrate: demands, the ECMP flow engine, route
+   derivation, demand matrices and forecasts. *)
+
+let feq = Alcotest.float 1e-9
+
+(* ---------------------------------------------------------------- *)
+(* Demand *)
+
+let test_demand_make () =
+  let d =
+    Demand.make ~name:"d" ~src:(Demand.Rsws_of_dc 0) ~dst:Demand.Backbone
+      ~volume:2.0
+  in
+  Alcotest.check feq "volume" 2.0 d.Demand.volume;
+  Alcotest.check feq "scaled" 3.0 (Demand.scale 1.5 d).Demand.volume;
+  Alcotest.check_raises "negative volume"
+    (Invalid_argument "Demand.make: negative volume") (fun () ->
+      ignore
+        (Demand.make ~name:"x" ~src:Demand.Backbone ~dst:(Demand.Rsws_of_dc 0)
+           ~volume:(-1.0)));
+  Alcotest.check_raises "src = dst"
+    (Invalid_argument "Demand.make: source equals destination") (fun () ->
+      ignore
+        (Demand.make ~name:"x" ~src:(Demand.Rsws_of_dc 0)
+           ~dst:(Demand.Rsws_of_dc 0) ~volume:1.0))
+
+let test_demand_total () =
+  let d v =
+    Demand.make ~name:"d" ~src:(Demand.Rsws_of_dc 0) ~dst:Demand.Backbone
+      ~volume:v
+  in
+  Alcotest.check feq "total" 6.0 (Demand.total_volume [ d 1.0; d 2.0; d 3.0 ])
+
+(* ---------------------------------------------------------------- *)
+(* ECMP engine on a hand-built two-hop fixture:
+   r0, r1 -> f0, f1 (full mesh) -> s0 (both FSWs uplink). *)
+
+let ecmp_fixture () =
+  let b = Builder.create () in
+  let r0 = Builder.add_switch b ~name:"r0" ~role:Switch.RSW ~max_ports:8 () in
+  let r1 = Builder.add_switch b ~name:"r1" ~role:Switch.RSW ~max_ports:8 () in
+  let f0 = Builder.add_switch b ~name:"f0" ~role:Switch.FSW ~max_ports:8 () in
+  let f1 = Builder.add_switch b ~name:"f1" ~role:Switch.FSW ~max_ports:8 () in
+  let s0 = Builder.add_switch b ~name:"s0" ~role:Switch.SSW ~max_ports:8 () in
+  let rf = Builder.connect_all b ~los:[ r0; r1 ] ~his:[ f0; f1 ] ~capacity:1.0 () in
+  let fs = Builder.connect_all b ~los:[ f0; f1 ] ~his:[ s0 ] ~capacity:2.0 () in
+  (Builder.freeze b, (r0, r1, f0, f1, s0), rf, fs)
+
+let role_is r (sw : Switch.t) = sw.Switch.role = r
+
+let two_hop_compiled topo sources =
+  Ecmp.compile topo ~sources
+    ~hops:
+      [ Ecmp.hop `Up (role_is Switch.FSW); Ecmp.hop `Up (role_is Switch.SSW) ]
+
+let test_ecmp_equal_split () =
+  let topo, (r0, _, _, _, _), rf, fs = ecmp_fixture () in
+  let c = two_hop_compiled topo [ (r0, 4.0) ] in
+  let scratch = Ecmp.make_scratch topo in
+  let loads = Array.make (Topo.n_circuits topo) 0.0 in
+  let result = Ecmp.evaluate topo scratch c ~loads in
+  Alcotest.check feq "all delivered" 4.0 result.Ecmp.delivered;
+  Alcotest.check feq "nothing stuck" 0.0 result.Ecmp.stuck;
+  (* r0's volume splits equally over its two FSW uplinks... *)
+  let r0_f0 = List.nth rf 0 and r0_f1 = List.nth rf 1 in
+  Alcotest.check feq "r0->f0" 2.0 loads.(r0_f0);
+  Alcotest.check feq "r0->f1" 2.0 loads.(r0_f1);
+  (* ...and each FSW forwards its share up the single spine link. *)
+  List.iter (fun j -> Alcotest.check feq "fsw->ssw" 2.0 loads.(j)) fs
+
+let test_ecmp_conservation_repeated () =
+  let topo, (r0, r1, _, _, _), _, _ = ecmp_fixture () in
+  let c = two_hop_compiled topo [ (r0, 1.0); (r1, 3.0) ] in
+  Alcotest.check feq "source volume" 4.0 (Ecmp.source_volume c);
+  let scratch = Ecmp.make_scratch topo in
+  let loads = Array.make (Topo.n_circuits topo) 0.0 in
+  (* Same scratch reused across evaluations must give identical results. *)
+  let r1 = Ecmp.evaluate topo scratch c ~loads in
+  let first = Array.copy loads in
+  Array.fill loads 0 (Array.length loads) 0.0;
+  let r2 = Ecmp.evaluate topo scratch c ~loads in
+  Alcotest.check feq "delivered equal" r1.Ecmp.delivered r2.Ecmp.delivered;
+  Alcotest.(check bool) "loads equal" true (first = loads)
+
+let test_ecmp_reroutes_around_drain () =
+  let topo, (r0, _, f0, _, _), rf, _ = ecmp_fixture () in
+  let c = two_hop_compiled topo [ (r0, 4.0) ] in
+  Topo.set_switch_active topo f0 false;
+  let scratch = Ecmp.make_scratch topo in
+  let loads = Array.make (Topo.n_circuits topo) 0.0 in
+  let result = Ecmp.evaluate topo scratch c ~loads in
+  Alcotest.check feq "still delivered" 4.0 result.Ecmp.delivered;
+  (* Everything funnels onto the surviving FSW: upstream funneling. *)
+  let r0_f1 = List.nth rf 1 in
+  Alcotest.check feq "survivor carries all" 4.0 loads.(r0_f1)
+
+let test_ecmp_usefulness_avoids_dead_end () =
+  (* f0 loses its spine uplink: ECMP must not send volume into it. *)
+  let topo, (r0, _, _, _, _), rf, fs = ecmp_fixture () in
+  let f0_s0 = List.nth fs 0 in
+  Topo.set_circuit_active topo f0_s0 false;
+  let c = two_hop_compiled topo [ (r0, 4.0) ] in
+  let scratch = Ecmp.make_scratch topo in
+  let loads = Array.make (Topo.n_circuits topo) 0.0 in
+  let result = Ecmp.evaluate topo scratch c ~loads in
+  Alcotest.check feq "delivered via f1 only" 4.0 result.Ecmp.delivered;
+  Alcotest.check feq "nothing stuck" 0.0 result.Ecmp.stuck;
+  Alcotest.check feq "dead branch unused" 0.0 loads.(List.nth rf 0)
+
+let test_ecmp_stuck_when_cut () =
+  let topo, (r0, _, f0, f1, _), _, _ = ecmp_fixture () in
+  Topo.set_switch_active topo f0 false;
+  Topo.set_switch_active topo f1 false;
+  let c = two_hop_compiled topo [ (r0, 4.0) ] in
+  let scratch = Ecmp.make_scratch topo in
+  let loads = Array.make (Topo.n_circuits topo) 0.0 in
+  let result = Ecmp.evaluate topo scratch c ~loads in
+  Alcotest.check feq "all stuck" 4.0 result.Ecmp.stuck;
+  Alcotest.check feq "none delivered" 0.0 result.Ecmp.delivered
+
+let test_ecmp_scale_linearity () =
+  let topo, (r0, _, _, _, _), _, fs = ecmp_fixture () in
+  let c = two_hop_compiled topo [ (r0, 4.0) ] in
+  let scratch = Ecmp.make_scratch topo in
+  let loads1 = Array.make (Topo.n_circuits topo) 0.0 in
+  ignore (Ecmp.evaluate topo scratch c ~loads:loads1);
+  let loads2 = Array.make (Topo.n_circuits topo) 0.0 in
+  ignore (Ecmp.evaluate ~scale:2.5 topo scratch c ~loads:loads2);
+  List.iter
+    (fun j -> Alcotest.check feq "linear in scale" (2.5 *. loads1.(j)) loads2.(j))
+    fs
+
+let test_ecmp_skip_carries () =
+  (* A source already at the destination layer carries through the skip. *)
+  let b = Builder.create () in
+  let f = Builder.add_switch b ~name:"f" ~role:Switch.FSW ~max_ports:4 () in
+  let s = Builder.add_switch b ~name:"s" ~role:Switch.SSW ~max_ports:4 () in
+  ignore (Builder.add_circuit b ~lo:f ~hi:s ~capacity:1.0 ());
+  let topo = Builder.freeze b in
+  let c =
+    Ecmp.compile topo
+      ~sources:[ (f, 1.0); (s, 1.0) ]
+      ~hops:[ Ecmp.hop `Up ~skip:(role_is Switch.SSW) (role_is Switch.SSW) ]
+  in
+  let scratch = Ecmp.make_scratch topo in
+  let loads = Array.make (Topo.n_circuits topo) 0.0 in
+  let result = Ecmp.evaluate topo scratch c ~loads in
+  Alcotest.check feq "both delivered" 2.0 result.Ecmp.delivered;
+  Alcotest.check feq "only f's share on the wire" 1.0 loads.(0)
+
+(* Conservation holds under arbitrary random drains of the fixture. *)
+let prop_conservation =
+  QCheck.Test.make ~count:200 ~name:"delivered + stuck = injected"
+    QCheck.(list (int_bound 4))
+    (fun drains ->
+      let topo, (r0, r1, _, _, _), _, _ = ecmp_fixture () in
+      List.iter (fun s -> Topo.set_switch_active topo s false) drains;
+      (* Keep the sources alive so their volume actually enters. *)
+      Topo.set_switch_active topo r0 true;
+      Topo.set_switch_active topo r1 true;
+      let c = two_hop_compiled topo [ (r0, 1.0); (r1, 2.0) ] in
+      let scratch = Ecmp.make_scratch topo in
+      let loads = Array.make (Topo.n_circuits topo) 0.0 in
+      let r = Ecmp.evaluate topo scratch c ~loads in
+      Float.abs (r.Ecmp.delivered +. r.Ecmp.stuck -. 3.0) < 1e-9
+      && Array.for_all (fun l -> l >= 0.0) loads)
+
+(* ---------------------------------------------------------------- *)
+(* Routes *)
+
+let test_routes_structure () =
+  let ew =
+    Demand.make ~name:"ew" ~src:(Demand.Rsws_of_dc 0)
+      ~dst:(Demand.Rsws_except_dc 0) ~volume:1.0
+  in
+  Alcotest.(check int) "east-west hop count" 4 (List.length (Routes.hops_for ew));
+  let egress =
+    Demand.make ~name:"eg" ~src:(Demand.Rsws_of_dc 0) ~dst:Demand.Backbone
+      ~volume:1.0
+  in
+  Alcotest.(check int) "egress hop count" 8 (List.length (Routes.hops_for egress));
+  let ingress =
+    Demand.make ~name:"in" ~src:Demand.Backbone ~dst:(Demand.Rsws_of_dc 1)
+      ~volume:1.0
+  in
+  Alcotest.(check int) "ingress hop count" 6
+    (List.length (Routes.hops_for ingress))
+
+let test_routes_sources_spread () =
+  let rsws_by_dc = [| [ 10; 11; 12; 13 ] |] in
+  let d =
+    Demand.make ~name:"d" ~src:(Demand.Rsws_of_dc 0) ~dst:Demand.Backbone
+      ~volume:2.0
+  in
+  let sources = Routes.sources_for ~rsws_by_dc ~ebbs:[ 99 ] d in
+  Alcotest.(check int) "one per RSW" 4 (List.length sources);
+  Alcotest.check feq "shares sum to volume" 2.0
+    (List.fold_left (fun acc (_, v) -> acc +. v) 0.0 sources);
+  let ingress =
+    Demand.make ~name:"i" ~src:Demand.Backbone ~dst:(Demand.Rsws_of_dc 0)
+      ~volume:3.0
+  in
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "backbone sources" [ (99, 3.0) ]
+    (Routes.sources_for ~rsws_by_dc ~ebbs:[ 99 ] ingress)
+
+let test_routes_errors () =
+  let bad =
+    Demand.make ~name:"bad" ~src:Demand.Backbone ~dst:(Demand.Rsws_of_dc 5)
+      ~volume:1.0
+  in
+  Alcotest.check_raises "dc out of range"
+    (Invalid_argument "Routes.sources_for: DC index out of range") (fun () ->
+      ignore
+        (Routes.sources_for ~rsws_by_dc:[| [ 1 ] |] ~ebbs:[ 2 ]
+           { bad with Demand.src = Demand.Rsws_of_dc 5 }))
+
+let test_end_to_end_delivery () =
+  (* All demand classes route with nothing stuck on scenario A. *)
+  let sc = Gen.scenario_of_label "A" in
+  let prng = Kutil.Prng.create ~seed:1 in
+  let demands = Matrix.generate ~prng ~dcs:sc.Gen.layout.Gen.params.Gen.dcs () in
+  let topo = sc.Gen.topo in
+  let scratch = Ecmp.make_scratch topo in
+  let loads = Array.make (Topo.n_circuits topo) 0.0 in
+  List.iter
+    (fun d ->
+      let c =
+        Routes.compile topo ~rsws_by_dc:sc.Gen.layout.Gen.rsws_by_dc
+          ~ebbs:sc.Gen.layout.Gen.ebbs d
+      in
+      let r = Ecmp.evaluate topo scratch c ~loads in
+      Alcotest.check (Alcotest.float 1e-6)
+        (d.Demand.name ^ " fully delivered")
+        d.Demand.volume r.Ecmp.delivered)
+    demands
+
+(* ---------------------------------------------------------------- *)
+(* Matrix *)
+
+let test_matrix_generate () =
+  let prng = Kutil.Prng.create ~seed:3 in
+  let demands = Matrix.generate ~prng ~dcs:3 () in
+  Alcotest.(check int) "3 ew + 3 egress + 3 ingress" 9 (List.length demands);
+  Alcotest.check (Alcotest.float 1e-6) "volumes sum to the configured totals"
+    1200.0
+    (Demand.total_volume demands);
+  let single = Matrix.generate ~prng:(Kutil.Prng.create ~seed:4) ~dcs:1 () in
+  Alcotest.(check int) "no east-west with one DC" 2 (List.length single)
+
+let test_matrix_determinism () =
+  let d1 = Matrix.generate ~prng:(Kutil.Prng.create ~seed:5) ~dcs:2 () in
+  let d2 = Matrix.generate ~prng:(Kutil.Prng.create ~seed:5) ~dcs:2 () in
+  Alcotest.(check bool) "same seed, same matrix" true (d1 = d2)
+
+let test_calibration_fixpoint () =
+  let sc = Gen.scenario_of_label "A" in
+  let task = Task.of_scenario ~target_util:0.4 sc in
+  let ck = Constraint.create task in
+  let s = Constraint.evaluate_current ck in
+  Alcotest.check (Alcotest.float 1e-6) "hottest circuit at target" 0.4
+    s.Constraint.max_util
+
+(* ---------------------------------------------------------------- *)
+(* Forecast *)
+
+let test_forecast_growth () =
+  let prng = Kutil.Prng.create ~seed:7 in
+  let f = Forecast.create ~weekly_growth:0.1 ~spike_probability:0.0 ~prng () in
+  Alcotest.check feq "week 0 is 1.0" 1.0 (Forecast.scale_at f ~week:0 ~class_name:"x");
+  Alcotest.check (Alcotest.float 1e-9) "compounds" 1.21
+    (Forecast.scale_at f ~week:2 ~class_name:"x");
+  Alcotest.check_raises "negative week"
+    (Invalid_argument "Forecast.scale_at: negative week") (fun () ->
+      ignore (Forecast.scale_at f ~week:(-1) ~class_name:"x"))
+
+let test_forecast_spikes_reproducible () =
+  let prng = Kutil.Prng.create ~seed:7 in
+  let f =
+    Forecast.create ~weekly_growth:0.0 ~spike_probability:0.5
+      ~spike_magnitude:1.0 ~prng ()
+  in
+  let a = Forecast.scale_at f ~week:3 ~class_name:"svc" in
+  let b = Forecast.scale_at f ~week:3 ~class_name:"svc" in
+  Alcotest.check feq "same query, same answer" a b;
+  (* With p=0.5 over many (week, class) keys, both outcomes occur. *)
+  let spiked = ref 0 and flat = ref 0 in
+  for w = 1 to 40 do
+    if Forecast.scale_at f ~week:w ~class_name:"svc" > 1.5 then incr spiked
+    else incr flat
+  done;
+  Alcotest.(check bool) "both outcomes occur" true (!spiked > 0 && !flat > 0)
+
+let test_forecast_apply () =
+  let prng = Kutil.Prng.create ~seed:7 in
+  let f = Forecast.create ~weekly_growth:0.05 ~spike_probability:0.0 ~prng () in
+  let d =
+    Demand.make ~name:"d" ~src:(Demand.Rsws_of_dc 0) ~dst:Demand.Backbone
+      ~volume:10.0
+  in
+  match Forecast.apply f ~week:1 [ d ] with
+  | [ d' ] -> Alcotest.check (Alcotest.float 1e-9) "grown" 10.5 d'.Demand.volume
+  | _ -> Alcotest.fail "one class in, one class out"
+
+let suite =
+  ( "traffic",
+    [
+      Alcotest.test_case "demand construction" `Quick test_demand_make;
+      Alcotest.test_case "demand totals" `Quick test_demand_total;
+      Alcotest.test_case "ECMP equal split" `Quick test_ecmp_equal_split;
+      Alcotest.test_case "ECMP scratch reuse" `Quick test_ecmp_conservation_repeated;
+      Alcotest.test_case "ECMP reroutes around drains" `Quick
+        test_ecmp_reroutes_around_drain;
+      Alcotest.test_case "ECMP avoids dead ends" `Quick
+        test_ecmp_usefulness_avoids_dead_end;
+      Alcotest.test_case "ECMP detects cuts" `Quick test_ecmp_stuck_when_cut;
+      Alcotest.test_case "ECMP scale linearity" `Quick test_ecmp_scale_linearity;
+      Alcotest.test_case "ECMP skip carries volume" `Quick test_ecmp_skip_carries;
+      QCheck_alcotest.to_alcotest prop_conservation;
+      Alcotest.test_case "route structures" `Quick test_routes_structure;
+      Alcotest.test_case "source spreading" `Quick test_routes_sources_spread;
+      Alcotest.test_case "route errors" `Quick test_routes_errors;
+      Alcotest.test_case "end-to-end delivery on A" `Quick test_end_to_end_delivery;
+      Alcotest.test_case "matrix generation" `Quick test_matrix_generate;
+      Alcotest.test_case "matrix determinism" `Quick test_matrix_determinism;
+      Alcotest.test_case "calibration fixpoint" `Quick test_calibration_fixpoint;
+      Alcotest.test_case "forecast growth" `Quick test_forecast_growth;
+      Alcotest.test_case "forecast spikes reproducible" `Quick
+        test_forecast_spikes_reproducible;
+      Alcotest.test_case "forecast apply" `Quick test_forecast_apply;
+    ] )

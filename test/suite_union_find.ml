@@ -1,0 +1,91 @@
+(* Tests for Kutil.Union_find. *)
+
+module Uf = Kutil.Union_find
+
+let test_singletons () =
+  let uf = Uf.create 4 in
+  Alcotest.(check int) "size" 4 (Uf.size uf);
+  Alcotest.(check int) "sets" 4 (Uf.count_sets uf);
+  Alcotest.(check bool) "distinct" false (Uf.same uf 0 3)
+
+let test_union_find () =
+  let uf = Uf.create 5 in
+  Uf.union uf 0 1;
+  Uf.union uf 3 4;
+  Alcotest.(check bool) "0~1" true (Uf.same uf 0 1);
+  Alcotest.(check bool) "3~4" true (Uf.same uf 3 4);
+  Alcotest.(check bool) "0!~3" false (Uf.same uf 0 3);
+  Alcotest.(check int) "3 sets" 3 (Uf.count_sets uf);
+  Uf.union uf 1 4;
+  Alcotest.(check bool) "transitive" true (Uf.same uf 0 3);
+  Alcotest.(check int) "2 sets" 2 (Uf.count_sets uf)
+
+let test_idempotent_union () =
+  let uf = Uf.create 3 in
+  Uf.union uf 0 1;
+  Uf.union uf 0 1;
+  Uf.union uf 1 0;
+  Alcotest.(check int) "still 2 sets" 2 (Uf.count_sets uf)
+
+let test_out_of_range () =
+  let uf = Uf.create 2 in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Union_find.find: out of range") (fun () ->
+      ignore (Uf.find uf (-1)));
+  Alcotest.check_raises "too large"
+    (Invalid_argument "Union_find.find: out of range") (fun () ->
+      ignore (Uf.find uf 2))
+
+let test_groups () =
+  let uf = Uf.create 5 in
+  Uf.union uf 0 2;
+  Uf.union uf 2 4;
+  let groups = Uf.groups uf in
+  let non_empty =
+    Array.to_list groups |> List.filter (fun g -> g <> []) |> List.sort compare
+  in
+  Alcotest.(check (list (list int))) "groups" [ [ 0; 2; 4 ]; [ 1 ]; [ 3 ] ]
+    (List.sort compare non_empty)
+
+let prop_union_reduces_sets =
+  QCheck.Test.make ~count:200 ~name:"every union reduces set count by <= 1"
+    QCheck.(list (pair (int_bound 19) (int_bound 19)))
+    (fun pairs ->
+      let uf = Uf.create 20 in
+      List.for_all
+        (fun (a, b) ->
+          let before = Uf.count_sets uf in
+          Uf.union uf a b;
+          let after = Uf.count_sets uf in
+          after = before || after = before - 1)
+        pairs)
+
+let prop_same_is_equivalence =
+  QCheck.Test.make ~count:100 ~name:"same is symmetric and transitive"
+    QCheck.(list (pair (int_bound 9) (int_bound 9)))
+    (fun pairs ->
+      let uf = Uf.create 10 in
+      List.iter (fun (a, b) -> Uf.union uf a b) pairs;
+      let ok = ref true in
+      for a = 0 to 9 do
+        for b = 0 to 9 do
+          if Uf.same uf a b <> Uf.same uf b a then ok := false;
+          for c = 0 to 9 do
+            if Uf.same uf a b && Uf.same uf b c && not (Uf.same uf a c) then
+              ok := false
+          done
+        done
+      done;
+      !ok)
+
+let suite =
+  ( "union_find",
+    [
+      Alcotest.test_case "singletons" `Quick test_singletons;
+      Alcotest.test_case "union and find" `Quick test_union_find;
+      Alcotest.test_case "idempotent union" `Quick test_idempotent_union;
+      Alcotest.test_case "bounds checking" `Quick test_out_of_range;
+      Alcotest.test_case "groups" `Quick test_groups;
+      QCheck_alcotest.to_alcotest prop_union_reduces_sets;
+      QCheck_alcotest.to_alcotest prop_same_is_equivalence;
+    ] )

@@ -1,0 +1,78 @@
+(* Tests for Kutil.Vec_key: the compact-representation key type. *)
+
+module Vec_key = Kutil.Vec_key
+
+let arr = Alcotest.(array int)
+
+let test_equal () =
+  Alcotest.(check bool) "equal" true (Vec_key.equal [| 1; 2 |] [| 1; 2 |]);
+  Alcotest.(check bool) "length differs" false (Vec_key.equal [| 1 |] [| 1; 0 |]);
+  Alcotest.(check bool) "element differs" false
+    (Vec_key.equal [| 1; 2 |] [| 1; 3 |]);
+  Alcotest.(check bool) "empty" true (Vec_key.equal [||] [||])
+
+let test_hash_consistent () =
+  Alcotest.(check int) "equal vectors hash equal"
+    (Vec_key.hash [| 4; 0; 7 |])
+    (Vec_key.hash [| 4; 0; 7 |])
+
+let test_compare () =
+  Alcotest.(check bool) "shorter first" true (Vec_key.compare [| 9 |] [| 0; 0 |] < 0);
+  Alcotest.(check bool) "lexicographic" true
+    (Vec_key.compare [| 1; 2 |] [| 1; 3 |] < 0);
+  Alcotest.(check int) "reflexive" 0 (Vec_key.compare [| 5; 5 |] [| 5; 5 |])
+
+let test_copy_independent () =
+  let v = [| 1; 2 |] in
+  let w = Vec_key.copy v in
+  w.(0) <- 9;
+  Alcotest.check arr "original unchanged" [| 1; 2 |] v
+
+let test_zeros_total () =
+  Alcotest.check arr "zeros" [| 0; 0; 0 |] (Vec_key.zeros 3);
+  Alcotest.(check int) "total" 6 (Vec_key.total [| 1; 2; 3 |]);
+  Alcotest.(check int) "total empty" 0 (Vec_key.total [||])
+
+let test_pp () =
+  Alcotest.(check string) "pp" "(1, 0, 2)" (Vec_key.to_string [| 1; 0; 2 |]);
+  Alcotest.(check string) "pp empty" "()" (Vec_key.to_string [||])
+
+let test_table () =
+  let table = Vec_key.Table.create 8 in
+  Vec_key.Table.replace table [| 1; 2 |] "a";
+  Vec_key.Table.replace table [| 2; 1 |] "b";
+  Alcotest.(check (option string)) "lookup structural" (Some "a")
+    (Vec_key.Table.find_opt table (Array.of_list [ 1; 2 ]));
+  Alcotest.(check (option string)) "order matters" (Some "b")
+    (Vec_key.Table.find_opt table [| 2; 1 |]);
+  Alcotest.(check int) "size" 2 (Vec_key.Table.length table)
+
+let prop_hash_respects_equal =
+  QCheck.Test.make ~count:300 ~name:"equal vectors have equal hashes"
+    QCheck.(list small_nat)
+    (fun xs ->
+      let v = Array.of_list xs in
+      let w = Array.of_list xs in
+      Vec_key.equal v w && Vec_key.hash v = Vec_key.hash w)
+
+let prop_compare_total_order =
+  QCheck.Test.make ~count:300 ~name:"compare is antisymmetric"
+    QCheck.(pair (list small_nat) (list small_nat))
+    (fun (a, b) ->
+      let va = Array.of_list a and vb = Array.of_list b in
+      let c1 = Vec_key.compare va vb and c2 = Vec_key.compare vb va in
+      (c1 = 0) = (c2 = 0) && (c1 > 0) = (c2 < 0))
+
+let suite =
+  ( "vec_key",
+    [
+      Alcotest.test_case "equality" `Quick test_equal;
+      Alcotest.test_case "hash consistency" `Quick test_hash_consistent;
+      Alcotest.test_case "compare" `Quick test_compare;
+      Alcotest.test_case "copy independence" `Quick test_copy_independent;
+      Alcotest.test_case "zeros and total" `Quick test_zeros_total;
+      Alcotest.test_case "pretty printing" `Quick test_pp;
+      Alcotest.test_case "hashtable" `Quick test_table;
+      QCheck_alcotest.to_alcotest prop_hash_respects_equal;
+      QCheck_alcotest.to_alcotest prop_compare_total_order;
+    ] )
