@@ -455,6 +455,77 @@ let ext opts =
     [ "A"; "B"; "C" ];
   Table_fmt.print ~align:Table_fmt.Right t
 
+(* ------------------------------------------------------------------ *)
+(* Parallel planning: the domain-pool satisfiability engine, jobs=1 vs
+   jobs=N on the Table-3 topologies.  Wall-clock times and speedups are
+   also dumped to BENCH_PARALLEL.json for the record. *)
+
+let write_parallel_json path rows =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"experiment\": \"parallel-planning\",\n";
+  Printf.fprintf oc "  \"cores\": %d,\n  \"rows\": [\n"
+    (Kutil.Domain_pool.recommended_jobs ());
+  let n = List.length rows in
+  List.iteri
+    (fun i (label, jobs_n, t1, tn, same_cost) ->
+      Printf.fprintf oc
+        "    {\"topology\": %S, \"jobs\": %d, \"seconds_jobs1\": %.6f, \
+         \"seconds_jobsN\": %.6f, \"speedup\": %.3f, \"same_cost\": %b}%s\n"
+        label jobs_n t1 tn
+        (t1 /. Float.max tn 1e-9)
+        same_cost
+        (if i = n - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
+let par opts =
+  Runner.heading "Parallel planning: satisfiability engine, jobs=1 vs jobs=N";
+  let jobs_n = max 2 (min 8 (Kutil.Domain_pool.recommended_jobs ())) in
+  Runner.note
+    (Printf.sprintf
+       "A* with the domain-pool engine; jobs=N uses %d workers (%d cores \
+        reported by the runtime)."
+       jobs_n
+       (Kutil.Domain_pool.recommended_jobs ()));
+  let t =
+    Table_fmt.create
+      ~headers:
+        [ "Topology"; "jobs=1 (s)"; Printf.sprintf "jobs=%d (s)" jobs_n;
+          "Speedup"; "Same cost" ]
+  in
+  let rows = ref [] in
+  List.iter
+    (fun label ->
+      Printf.printf "  planning %s...\n%!" label;
+      let task = task label in
+      let seq = Astar.plan ~config:(cfg opts) task in
+      let fanned =
+        Astar.plan ~config:(Planner.with_jobs jobs_n (cfg opts)) task
+      in
+      let t1 = seq.Planner.stats.Planner.elapsed in
+      let tn = fanned.Planner.stats.Planner.elapsed in
+      let same_cost =
+        match (Planner.cost_of seq, Planner.cost_of fanned) with
+        | Some a, Some b -> Float.abs (a -. b) < 1e-9
+        | None, None -> true
+        | _ -> false
+      in
+      rows := (label, jobs_n, t1, tn, same_cost) :: !rows;
+      Table_fmt.add_row t
+        [
+          label;
+          Printf.sprintf "%.3f" t1;
+          Printf.sprintf "%.3f" tn;
+          Printf.sprintf "%.2fx" (t1 /. Float.max tn 1e-9);
+          (if same_cost then "yes" else "NO");
+        ])
+    (labels opts);
+  Table_fmt.print ~align:Table_fmt.Right t;
+  let path = "BENCH_PARALLEL.json" in
+  write_parallel_json path (List.rev !rows);
+  Runner.note (Printf.sprintf "wrote %s" path)
+
 let all = [
   ("table1", table1);
   ("table3", table3);
@@ -464,5 +535,6 @@ let all = [
   ("fig11", fig11);
   ("fig12", fig12);
   ("fig13", fig13);
+  ("par", par);
   ("ext", ext);
 ]

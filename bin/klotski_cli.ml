@@ -43,6 +43,22 @@ let seed =
   let doc = "Seed for the synthetic demand matrix." in
   Arg.(value & opt int 42 & info [ "seed" ] ~doc)
 
+let jobs =
+  let doc =
+    "Satisfiability-engine workers (OCaml domains).  1 is the sequential \
+     path; 0 picks the runtime's recommended domain count."
+  in
+  let env = Cmd.Env.info "KLOTSKI_JOBS" ~doc in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~env ~docv:"N" ~doc)
+
+let resolve_jobs n =
+  if n = 0 then Kutil.Domain_pool.recommended_jobs ()
+  else if n < 0 then begin
+    Printf.eprintf "error: --jobs must be >= 1 (or 0 for auto)\n";
+    exit 1
+  end
+  else n
+
 let load_task ?(theta = 0.75) ?(alpha = 0.0) ?(block_factor = 1.0) ?(seed = 42)
     path =
   match Npd_convert.load_scenario path with
@@ -188,8 +204,8 @@ let plan_cmd =
     let doc = "Print the per-step utilization timeline of the plan." in
     Arg.(value & flag & info [ "timeline" ] ~doc)
   in
-  let run verbose path planner theta alpha budget block_factor seed no_validate
-      plan_out timeline =
+  let run verbose path planner theta alpha budget block_factor seed jobs
+      no_validate plan_out timeline =
     setup_logs verbose;
     let _, task = load_task ~theta ~alpha ~block_factor ~seed path in
     let planner_kind =
@@ -203,7 +219,9 @@ let plan_cmd =
           Printf.eprintf "error: unknown planner %S\n" other;
           exit 1
     in
-    let config = Planner.with_budget (Some budget) in
+    let config =
+      Planner.with_jobs (resolve_jobs jobs) (Planner.with_budget (Some budget))
+    in
     let result = Klotski.plan ~planner:planner_kind ~config task in
     Format.printf "%a@." Planner.pp_result result;
     match result.Planner.outcome with
@@ -236,7 +254,7 @@ let plan_cmd =
     (Cmd.info "plan" ~doc:"Compute a safe migration plan from an NPD file.")
     Term.(
       const run $ verbose $ npd_file $ planner $ theta $ alpha $ budget
-      $ block_factor $ seed $ no_validate $ plan_out $ timeline)
+      $ block_factor $ seed $ jobs $ no_validate $ plan_out $ timeline)
 
 (* ------------------------------------------------------------------ *)
 (* simulate *)
@@ -254,10 +272,13 @@ let simulate_cmd =
     let doc = "Weekly organic demand growth (fraction)." in
     Arg.(value & opt float 0.01 & info [ "growth" ] ~doc)
   in
-  let run verbose path theta seed weeks failure_probability growth =
+  let run verbose path theta seed jobs weeks failure_probability growth =
     setup_logs verbose;
     let _, task = load_task ~theta ~seed path in
-    match Klotski.plan task with
+    let config =
+      Planner.with_jobs (resolve_jobs jobs) Planner.default_config
+    in
+    match Klotski.plan ~config task with
     | { Planner.outcome = Planner.Found plan; _ } ->
         let prng = Kutil.Prng.create ~seed in
         let forecast =
@@ -294,7 +315,7 @@ let simulate_cmd =
           pre-step audits, push failures and replanning (the deployment \
           workflow of the paper's experience section).")
     Term.(
-      const run $ verbose $ npd_file $ theta $ seed $ weeks
+      const run $ verbose $ npd_file $ theta $ seed $ jobs $ weeks
       $ failure_probability $ growth)
 
 (* ------------------------------------------------------------------ *)

@@ -1,20 +1,34 @@
 module Table = Kutil.Vec_key.Table
 
+(* The table is sharded by key hash so checker domains can consult it
+   concurrently: each shard carries its own mutex, and the expensive
+   constraint evaluation happens outside any lock (two workers racing on
+   the same fresh key would merely both compute the same deterministic
+   result).  Counters are atomics for the same reason. *)
+
+let n_shards = 64
+
+type shard = { table : bool Table.t; lock : Mutex.t }
+
 type t = {
   enabled : bool;
   funneling : bool;
-  table : bool Table.t;
-  mutable hits : int;
-  mutable misses : int;
+  shards : shard array;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  bypassed : int Atomic.t;
 }
 
 let create ?(enabled = true) (task : Task.t) =
   {
     enabled;
     funneling = task.Task.funneling > 0.0;
-    table = Table.create 1024;
-    hits = 0;
-    misses = 0;
+    shards =
+      Array.init n_shards (fun _ ->
+          { table = Table.create 64; lock = Mutex.create () });
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    bypassed = Atomic.make 0;
   }
 
 (* With funneling, satisfiability also depends on which block was operated
@@ -30,24 +44,45 @@ let key_of cache ?last_type v =
     k
   end
 
+let shard_of cache key =
+  cache.shards.(Kutil.Vec_key.hash key land (n_shards - 1))
+
+let find_opt shard key =
+  Mutex.lock shard.lock;
+  let r = Table.find_opt shard.table key in
+  Mutex.unlock shard.lock;
+  r
+
+let store shard key result =
+  Mutex.lock shard.lock;
+  Table.replace shard.table key result;
+  Mutex.unlock shard.lock
+
 let check cache ck ?last_type ?last_block v =
   if not cache.enabled then begin
-    cache.misses <- cache.misses + 1;
+    (* Disabled cache ("w/o ESC"): the check is not a miss — counting it
+       as one would give the ablation a nonzero miss count and a
+       meaningless hit-rate denominator. *)
+    Atomic.incr cache.bypassed;
     Constraint.check ?last_block ck v
   end
   else begin
     let key = key_of cache ?last_type v in
-    match Table.find_opt cache.table key with
+    let shard = shard_of cache key in
+    match find_opt shard key with
     | Some result ->
-        cache.hits <- cache.hits + 1;
+        Atomic.incr cache.hits;
         result
     | None ->
-        cache.misses <- cache.misses + 1;
+        Atomic.incr cache.misses;
         let result = Constraint.check ?last_block ck v in
-        Table.replace cache.table (Kutil.Vec_key.copy key) result;
+        store shard (Kutil.Vec_key.copy key) result;
         result
   end
 
-let hits c = c.hits
-let misses c = c.misses
-let size c = Table.length c.table
+let hits c = Atomic.get c.hits
+let misses c = Atomic.get c.misses
+let bypassed c = Atomic.get c.bypassed
+
+let size c =
+  Array.fold_left (fun acc s -> acc + Table.length s.table) 0 c.shards

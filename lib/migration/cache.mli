@@ -6,14 +6,21 @@
     unordered map maps (V, 0/1).  The funneling margin makes results
     additionally depend on the last operated block; when (and only when) a
     task enables funneling, the cache key is extended with the last action
-    type, which identifies the last block given V. *)
+    type, which identifies the last block given V.
+
+    The table is domain-safe: it is sharded by key hash with a mutex per
+    shard, so the parallel satisfiability engine's workers can look up,
+    evaluate and insert concurrently.  The constraint evaluation itself
+    runs outside any lock; checks are deterministic per state, so
+    duplicate concurrent evaluations of one key agree. *)
 
 type t
 
 val create : ?enabled:bool -> Task.t -> t
-(** [create task] builds a cache bound to one checker's task.
-    [~enabled:false] reproduces the "Klotski w/o ESC" ablation: every
-    lookup misses and re-runs the full check. *)
+(** [create task] builds a cache bound to one task.  [~enabled:false]
+    reproduces the "Klotski w/o ESC" ablation: every check bypasses the
+    table and re-runs the full evaluation (counted by {!bypassed}, not
+    {!misses}). *)
 
 val check :
   t -> Constraint.t -> ?last_type:int -> ?last_block:int -> Compact.t -> bool
@@ -24,7 +31,11 @@ val hits : t -> int
 (** Lookups answered from the table. *)
 
 val misses : t -> int
-(** Lookups that ran a full check. *)
+(** Enabled-path lookups that ran a full check.  Always 0 when the cache
+    is disabled: [hits / (hits + misses)] stays a meaningful hit rate. *)
+
+val bypassed : t -> int
+(** Checks that skipped the table because the cache is disabled. *)
 
 val size : t -> int
 (** Distinct states stored. *)

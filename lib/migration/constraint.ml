@@ -132,7 +132,7 @@ let related_circuits ck b =
           Array.iter keep (Topo.down_circuits topo s))
         neighbors;
       let circuits = Array.of_seq (Hashtbl.to_seq_keys acc) in
-      Array.sort compare circuits;
+      Array.sort Int.compare circuits;
       ck.related.(b) <- Some circuits;
       circuits
 

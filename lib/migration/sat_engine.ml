@@ -1,0 +1,77 @@
+(* The parallel satisfiability engine: a domain pool, one private
+   [Constraint.t] checker per worker, and one shared sharded [Cache.t].
+
+   Checkers are the natural per-worker unit: each owns its own topology
+   copy, ECMP scratch and funneling memo, so workers never contend on
+   mutable planning state.  Worker 0 is the calling domain; its checker is
+   created eagerly, the others lazily inside their own domain on first
+   use.  With [jobs = 1] every batch runs inline, in item order, through
+   exactly the same cache protocol as the historical sequential planners —
+   bit-identical outcomes, counters and costs. *)
+
+type candidate = {
+  last_type : int option;
+  last_block : int option;
+  v : Compact.t;
+}
+
+type t = {
+  task : Task.t;
+  pool : Kutil.Domain_pool.t;
+  checkers : Constraint.t option array;  (* slot [w] touched only by worker [w] *)
+  cache : Cache.t;
+  mutable check_seconds : float;
+}
+
+let create ?(jobs = 1) ?(use_cache = true) (task : Task.t) =
+  if jobs < 1 then invalid_arg "Sat_engine.create: jobs must be >= 1";
+  let checkers = Array.make jobs None in
+  checkers.(0) <- Some (Constraint.create task);
+  {
+    task;
+    pool = Kutil.Domain_pool.create ~jobs;
+    checkers;
+    cache = Cache.create ~enabled:use_cache task;
+    check_seconds = 0.0;
+  }
+
+let jobs e = Kutil.Domain_pool.size e.pool
+let task e = e.task
+
+let checker e wid =
+  match e.checkers.(wid) with
+  | Some ck -> ck
+  | None ->
+      let ck = Constraint.create e.task in
+      e.checkers.(wid) <- Some ck;
+      ck
+
+let check_candidate e wid { last_type; last_block; v } =
+  Cache.check e.cache (checker e wid) ?last_type ?last_block v
+
+let check e ?last_type ?last_block v =
+  let started = Kutil.Timer.now () in
+  let r = check_candidate e 0 { last_type; last_block; v } in
+  e.check_seconds <- e.check_seconds +. (Kutil.Timer.now () -. started);
+  r
+
+let check_batch e candidates =
+  let started = Kutil.Timer.now () in
+  let r =
+    Kutil.Domain_pool.map e.pool ~worker:(check_candidate e) candidates
+  in
+  e.check_seconds <- e.check_seconds +. (Kutil.Timer.now () -. started);
+  r
+
+let checks_performed e =
+  Array.fold_left
+    (fun acc ck ->
+      match ck with Some ck -> acc + Constraint.checks_performed ck | None -> acc)
+    0 e.checkers
+
+let cache_hits e = Cache.hits e.cache
+let cache_misses e = Cache.misses e.cache
+let cache_size e = Cache.size e.cache
+let check_seconds e = e.check_seconds
+
+let shutdown e = Kutil.Domain_pool.shutdown e.pool

@@ -1,0 +1,54 @@
+(** The parallel satisfiability engine: batched, cached, multicore
+    constraint checking for the planners.
+
+    An engine bundles a {!Kutil.Domain_pool} of [jobs] workers, a private
+    {!Constraint.t} checker per worker (each with its own topology copy
+    and ECMP scratch), and one shared, sharded {!Cache.t}.  Planners hand
+    it batches of candidate states — A*'s successors of one expansion, a
+    whole DP layer frontier — and get the per-candidate verdicts back in
+    order.
+
+    With [jobs = 1] no domains are spawned and every batch is evaluated
+    inline in item order through the same cache protocol as the historical
+    sequential code path, so results, counters and costs are bit-identical
+    to pre-engine planning. *)
+
+type candidate = {
+  last_type : int option;  (** Action type of the step reaching [v]. *)
+  last_block : int option;  (** Block operated by that step (funneling). *)
+  v : Compact.t;  (** The compact state to check. *)
+}
+
+type t
+
+val create : ?jobs:int -> ?use_cache:bool -> Task.t -> t
+(** [create task] builds an engine with [jobs] workers (default 1) and
+    the cache enabled unless [~use_cache:false] (the "w/o ESC"
+    ablation).  Raises [Invalid_argument] when [jobs < 1]. *)
+
+val jobs : t -> int
+val task : t -> Task.t
+
+val check : t -> ?last_type:int -> ?last_block:int -> Compact.t -> bool
+(** Check a single state on the calling domain (worker 0). *)
+
+val check_batch : t -> candidate array -> bool array
+(** Check a batch of candidates, fanning the uncached evaluations out
+    over the pool; [result.(i)] is candidate [i]'s verdict.  Callers
+    should not repeat a (state, last type) pair within one batch — the
+    planners never do, since distinct successors have distinct states. *)
+
+val checks_performed : t -> int
+(** Full (uncached) constraint evaluations, summed over workers. *)
+
+val cache_hits : t -> int
+
+val cache_misses : t -> int
+
+val cache_size : t -> int
+
+val check_seconds : t -> float
+(** Wall-clock seconds spent inside {!check}/{!check_batch}. *)
+
+val shutdown : t -> unit
+(** Join the pool's domains.  The engine must not be used afterwards. *)

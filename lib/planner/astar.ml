@@ -4,13 +4,16 @@ module Budget = Kutil.Timer.Budget
 let name = "Klotski-A*"
 
 (* Search states are (V, last action type); the hashtable key is V with
-   last + 1 appended (0 = no action yet). *)
-let skey v last =
+   last + 1 appended (0 = no action yet).  The hot paths fill a reusable
+   scratch key and only allocate when a key is actually inserted into a
+   table. *)
+let skey_into k v last =
   let n = Array.length v in
-  let k = Array.make (n + 1) 0 in
   Array.blit v 0 k 0 n;
   k.(n) <- last + 1;
   k
+
+let skey v last = skey_into (Array.make (Array.length v + 1) 0) v last
 
 type entry = {
   f : float;
@@ -25,7 +28,7 @@ let entry_compare a b =
   let c = Float.compare a.f b.f in
   if c <> 0 then c
   else
-    let c = compare b.finished a.finished in
+    let c = Int.compare b.finished a.finished in
     if c <> 0 then c else Float.compare a.g b.g
 
 let budget_of (config : Planner.config) =
@@ -40,8 +43,10 @@ let budget_of (config : Planner.config) =
 let plan ?(config = Planner.default_config) ?(dedup = true) (task : Task.t) =
   let budget = budget_of config in
   let started = Kutil.Timer.now () in
-  let checker = Constraint.create task in
-  let cache = Cache.create ~enabled:config.Planner.use_cache task in
+  let engine =
+    Sat_engine.create ~jobs:config.Planner.jobs
+      ~use_cache:config.Planner.use_cache task
+  in
   let n_types = Action.Set.cardinal task.Task.actions in
   let counts = task.Task.counts in
   let alpha = task.Task.alpha in
@@ -51,6 +56,7 @@ let plan ?(config = Planner.default_config) ?(dedup = true) (task : Task.t) =
   let closed = Vec_key.Table.create 1024 in
   let expanded = ref 0 and generated = ref 0 in
   let remaining_scratch = Array.make n_types 0 in
+  let key_scratch = Array.make (n_types + 1) 0 in
   let heuristic v last =
     for a = 0 to n_types - 1 do
       remaining_scratch.(a) <- counts.(a) - v.(a)
@@ -74,8 +80,9 @@ let plan ?(config = Planner.default_config) ?(dedup = true) (task : Task.t) =
     {
       Planner.expanded = !expanded;
       generated = !generated;
-      sat_checks = Constraint.checks_performed checker;
-      cache_hits = Cache.hits cache;
+      sat_checks = Sat_engine.checks_performed engine;
+      cache_hits = Sat_engine.cache_hits engine;
+      check_seconds = Sat_engine.check_seconds engine;
       elapsed = Kutil.Timer.now () -. started;
     }
   in
@@ -92,6 +99,11 @@ let plan ?(config = Planner.default_config) ?(dedup = true) (task : Task.t) =
     in
     Plan.make task (List.rev blocks)
   in
+  (* Successor-batch scratch: candidate action types and states of one
+     expansion, checked together so the engine can fan them out. *)
+  let cand_types = Array.make n_types 0 in
+  let cand_sat = Array.make n_types
+      { Sat_engine.last_type = None; last_block = None; v = [||] } in
   let rec search () =
     if Budget.expired budget then
       { Planner.planner = name; outcome = Planner.Timeout None; stats = stats () }
@@ -100,7 +112,7 @@ let plan ?(config = Planner.default_config) ?(dedup = true) (task : Task.t) =
       | None ->
           { Planner.planner = name; outcome = Planner.Infeasible; stats = stats () }
       | Some e ->
-          let key = skey e.v e.last in
+          let key = skey_into key_scratch e.v e.last in
           let skip =
             dedup
             && ((match Vec_key.Table.find_opt best_g key with
@@ -116,44 +128,63 @@ let plan ?(config = Planner.default_config) ?(dedup = true) (task : Task.t) =
               stats = stats ();
             }
           else begin
-            if dedup then Vec_key.Table.replace closed key ();
+            if dedup then Vec_key.Table.replace closed (Vec_key.copy key) ();
             incr expanded;
+            (* Gather this expansion's candidate successors, check them as
+               one batch, then commit in ascending type order — the same
+               order the sequential loop used. *)
+            let n_cands = ref 0 in
             for a = 0 to n_types - 1 do
               if e.v.(a) < counts.(a) then begin
                 let block = task.Task.blocks_by_type.(a).(e.v.(a)) in
-                let v' = Compact.succ e.v a in
                 incr generated;
-                if Cache.check cache checker ~last_type:a ~last_block:block v'
-                then begin
-                  let g' =
-                    e.g
-                    +. Cost.step ~alpha ?weights
-                         ~last:(if e.last >= 0 then Some e.last else None)
-                         a
-                  in
-                  let better =
-                    (not dedup)
-                    ||
-                    match Vec_key.Table.find_opt best_g (skey v' a) with
-                    | Some g -> g' < g -. 1e-12
-                    | None -> true
-                  in
-                  if better then begin
-                    if dedup then Vec_key.Table.replace best_g (skey v' a) g';
-                    Kutil.Heap.push open_heap
-                      {
-                        f = g' +. heuristic v' a;
-                        finished = Compact.finished v';
-                        g = g';
-                        v = v';
-                        last = a;
-                        rev_types = a :: e.rev_types;
-                      }
-                  end
+                cand_types.(!n_cands) <- a;
+                cand_sat.(!n_cands) <-
+                  {
+                    Sat_engine.last_type = Some a;
+                    last_block = Some block;
+                    v = Compact.succ e.v a;
+                  };
+                incr n_cands
+              end
+            done;
+            let oks =
+              Sat_engine.check_batch engine (Array.sub cand_sat 0 !n_cands)
+            in
+            for i = 0 to !n_cands - 1 do
+              if oks.(i) then begin
+                let a = cand_types.(i) in
+                let v' = cand_sat.(i).Sat_engine.v in
+                let g' =
+                  e.g
+                  +. Cost.step ~alpha ?weights
+                       ~last:(if e.last >= 0 then Some e.last else None)
+                       a
+                in
+                let key' = skey_into key_scratch v' a in
+                let better =
+                  (not dedup)
+                  ||
+                  match Vec_key.Table.find_opt best_g key' with
+                  | Some g -> g' < g -. 1e-12
+                  | None -> true
+                in
+                if better then begin
+                  if dedup then
+                    Vec_key.Table.replace best_g (Vec_key.copy key') g';
+                  Kutil.Heap.push open_heap
+                    {
+                      f = g' +. heuristic v' a;
+                      finished = Compact.finished v';
+                      g = g';
+                      v = v';
+                      last = a;
+                      rev_types = a :: e.rev_types;
+                    }
                 end
               end
             done;
             search ()
           end
   in
-  search ()
+  Fun.protect ~finally:(fun () -> Sat_engine.shutdown engine) search

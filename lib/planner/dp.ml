@@ -15,8 +15,10 @@ let plan ?(config = Planner.default_config) (task : Task.t) =
     | Some s -> Budget.of_seconds s
   in
   let started = Kutil.Timer.now () in
-  let checker = Constraint.create task in
-  let cache = Cache.create ~enabled:config.Planner.use_cache task in
+  let engine =
+    Sat_engine.create ~jobs:config.Planner.jobs
+      ~use_cache:config.Planner.use_cache task
+  in
   let n_types = Action.Set.cardinal task.Task.actions in
   let counts = task.Task.counts in
   let alpha = task.Task.alpha in
@@ -37,61 +39,89 @@ let plan ?(config = Planner.default_config) (task : Task.t) =
     {
       Planner.expanded = !expanded;
       generated = !generated;
-      sat_checks = Constraint.checks_performed checker;
-      cache_hits = Cache.hits cache;
+      sat_checks = Sat_engine.checks_performed engine;
+      cache_hits = Sat_engine.cache_hits engine;
+      check_seconds = Sat_engine.check_seconds engine;
       elapsed = Kutil.Timer.now () -. started;
     }
   in
   let timeout = ref false in
-  (* Forward propagation, layer by layer (ascending Σv, Eq. 7/8). *)
+  (* Forward propagation, layer by layer (ascending Σv, Eq. 7/8).  The
+     whole layer frontier is satisfiability-checked as one batch — every
+     (V', last type) pair of a layer is distinct, so the batch carries no
+     duplicate cache keys and parallel evaluation matches the sequential
+     interleaving exactly. *)
+  Fun.protect ~finally:(fun () -> Sat_engine.shutdown engine) (fun () ->
   (try
      for t = 0 to total - 1 do
-       List.iter
+       if Budget.expired budget then begin
+         timeout := true;
+         raise Exit
+       end;
+       let frontier = Array.of_list layers.(t) in
+       (* Candidates in the sequential visiting order: frontier cells in
+          layer order, successor types ascending within a cell. *)
+       let cands = ref [] in
+       Array.iter
          (fun v ->
+           for a = 0 to n_types - 1 do
+             if v.(a) < counts.(a) then
+               cands :=
+                 ( v,
+                   a,
+                   {
+                     Sat_engine.last_type = Some a;
+                     last_block = Some task.Task.blocks_by_type.(a).(v.(a));
+                     v = Compact.succ v a;
+                   } )
+                 :: !cands
+           done)
+         frontier;
+       let cands = Array.of_list (List.rev !cands) in
+       generated := !generated + Array.length cands;
+       let oks =
+         Sat_engine.check_batch engine
+           (Array.map (fun (_, _, c) -> c) cands)
+       in
+       expanded := !expanded + Array.length frontier;
+       Array.iteri
+         (fun i (v, a, c) ->
            if Budget.expired budget then begin
              timeout := true;
              raise Exit
            end;
-           let cell = Vec_key.Table.find cells v in
-           incr expanded;
-           for a = 0 to n_types - 1 do
-             if v.(a) < counts.(a) then begin
-               let block = task.Task.blocks_by_type.(a).(v.(a)) in
-               let v' = Compact.succ v a in
-               incr generated;
-               if Cache.check cache checker ~last_type:a ~last_block:block v'
-               then begin
-                 let cell' =
-                   match Vec_key.Table.find_opt cells v' with
-                   | Some c -> c
-                   | None ->
-                       let c =
-                         {
-                           g = Array.make (n_types + 1) infinity;
-                           prev = Array.make (n_types + 1) (-2);
-                         }
-                       in
-                       Vec_key.Table.replace cells v' c;
-                       layers.(t + 1) <- v' :: layers.(t + 1);
-                       c
-                 in
-                 (* Relax from every finite last type of the predecessor. *)
-                 for l = 0 to n_types do
-                   if cell.g.(l) < infinity then begin
-                     let last = if l = n_types then None else Some l in
-                     let g' = cell.g.(l) +. Cost.step ~alpha ?weights ~last a in
-                     if g' < cell'.g.(a) -. 1e-12 then begin
-                       cell'.g.(a) <- g';
-                       cell'.prev.(a) <- l
-                     end
-                   end
-                 done
+           if oks.(i) then begin
+             let cell = Vec_key.Table.find cells v in
+             let v' = c.Sat_engine.v in
+             let cell' =
+               match Vec_key.Table.find_opt cells v' with
+               | Some c -> c
+               | None ->
+                   let c =
+                     {
+                       g = Array.make (n_types + 1) infinity;
+                       prev = Array.make (n_types + 1) (-2);
+                     }
+                   in
+                   Vec_key.Table.replace cells v' c;
+                   layers.(t + 1) <- v' :: layers.(t + 1);
+                   c
+             in
+             (* Relax from every finite last type of the predecessor. *)
+             for l = 0 to n_types do
+               if cell.g.(l) < infinity then begin
+                 let last = if l = n_types then None else Some l in
+                 let g' = cell.g.(l) +. Cost.step ~alpha ?weights ~last a in
+                 if g' < cell'.g.(a) -. 1e-12 then begin
+                   cell'.g.(a) <- g';
+                   cell'.prev.(a) <- l
+                 end
                end
-             end
-           done)
-         layers.(t)
+             done
+           end)
+         cands
      done
-   with Exit -> ());
+   with Exit -> ()));
   if !timeout then
     { Planner.planner = name; outcome = Planner.Timeout None; stats = stats () }
   else begin

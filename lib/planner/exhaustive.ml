@@ -14,8 +14,11 @@ let plan ?(config = Planner.default_config) ?(bound = `Cost_only)
     | Some s -> Budget.of_seconds s
   in
   let started = Kutil.Timer.now () in
-  let checker = Constraint.create task in
-  let cache = Cache.create ~enabled:config.Planner.use_cache task in
+  let engine =
+    Sat_engine.create ~jobs:config.Planner.jobs
+      ~use_cache:config.Planner.use_cache task
+  in
+  let parallel = Sat_engine.jobs engine > 1 in
   let n_types = Action.Set.cardinal task.Task.actions in
   let counts = task.Task.counts in
   let alpha = task.Task.alpha in
@@ -29,7 +32,15 @@ let plan ?(config = Planner.default_config) ?(bound = `Cost_only)
   let remaining = Array.copy counts in
   let timeout = ref false in
   (* Depth-first over type sequences; blocks are consumed in canonical
-     per-type order so a sequence of types determines the plan. *)
+     per-type order so a sequence of types determines the plan.
+
+     With one worker, each sibling is checked inline exactly where the
+     historical sequential code checked it (no work the pruning bound
+     would have skipped).  With several workers, all siblings of a node
+     are batch-checked up front — speculative for siblings a later
+     best-cost improvement would have pruned, but the bound itself is
+     still applied at the same program point, so the traversal and the
+     outcome are unchanged. *)
   let rec dfs depth last g =
     if Budget.expired budget then raise Out_of_time;
     incr expanded;
@@ -39,7 +50,35 @@ let plan ?(config = Planner.default_config) ?(bound = `Cost_only)
         best_seq := Some (Array.copy seq)
       end
     end
-    else
+    else begin
+      let sibling_ok =
+        if not parallel then [||]
+        else begin
+          let cands = ref [] in
+          for a = n_types - 1 downto 0 do
+            if remaining.(a) > 0 then begin
+              v.(a) <- v.(a) + 1;
+              cands :=
+                ( a,
+                  {
+                    Sat_engine.last_type = Some a;
+                    last_block =
+                      Some task.Task.blocks_by_type.(a).(v.(a) - 1);
+                    v = Array.copy v;
+                  } )
+                :: !cands;
+              v.(a) <- v.(a) - 1
+            end
+          done;
+          let cands = Array.of_list !cands in
+          let oks =
+            Sat_engine.check_batch engine (Array.map snd cands)
+          in
+          let by_type = Array.make n_types false in
+          Array.iteri (fun i (a, _) -> by_type.(a) <- oks.(i)) cands;
+          by_type
+        end
+      in
       for a = 0 to n_types - 1 do
         if remaining.(a) > 0 then begin
           let lower_bound =
@@ -63,7 +102,9 @@ let plan ?(config = Planner.default_config) ?(bound = `Cost_only)
             v.(a) <- v.(a) + 1;
             incr generated;
             let ok =
-              Cache.check cache checker ~last_type:a ~last_block:block v
+              if parallel then sibling_ok.(a)
+              else
+                Sat_engine.check engine ~last_type:a ~last_block:block v
             in
             if ok then begin
               seq.(depth) <- a;
@@ -76,14 +117,18 @@ let plan ?(config = Planner.default_config) ?(bound = `Cost_only)
           end
         end
       done
+    end
   in
-  (try dfs 0 None 0.0 with Out_of_time -> timeout := true);
+  Fun.protect
+    ~finally:(fun () -> Sat_engine.shutdown engine)
+    (fun () -> try dfs 0 None 0.0 with Out_of_time -> timeout := true);
   let stats =
     {
       Planner.expanded = !expanded;
       generated = !generated;
-      sat_checks = Constraint.checks_performed checker;
-      cache_hits = Cache.hits cache;
+      sat_checks = Sat_engine.checks_performed engine;
+      cache_hits = Sat_engine.cache_hits engine;
+      check_seconds = Sat_engine.check_seconds engine;
       elapsed = Kutil.Timer.now () -. started;
     }
   in

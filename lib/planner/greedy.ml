@@ -9,8 +9,10 @@ let plan ?(config = Planner.default_config) (task : Task.t) =
     | Some s -> Budget.of_seconds s
   in
   let started = Kutil.Timer.now () in
-  let checker = Constraint.create task in
-  let cache = Cache.create ~enabled:config.Planner.use_cache task in
+  let engine =
+    Sat_engine.create ~jobs:config.Planner.jobs
+      ~use_cache:config.Planner.use_cache task
+  in
   let n_types = Action.Set.cardinal task.Task.actions in
   let counts = task.Task.counts in
   let alpha = task.Task.alpha in
@@ -22,57 +24,73 @@ let plan ?(config = Planner.default_config) (task : Task.t) =
   let last = ref None in
   let expanded = ref 0 and generated = ref 0 in
   let timeout = ref false and dead_end = ref false in
-  (try
-     for _step = 1 to total do
-       if Budget.expired budget then begin
-         timeout := true;
-         raise Exit
-       end;
-       (* Score every feasible successor: marginal cost plus the bound on
-          the rest; commit to the best without backtracking. *)
-       let best = ref (-1) and best_score = ref infinity in
-       for a = 0 to n_types - 1 do
-         if v.(a) < counts.(a) then begin
-           let block = task.Task.blocks_by_type.(a).(v.(a)) in
-           v.(a) <- v.(a) + 1;
-           incr generated;
-           let feasible =
-             Cache.check cache checker ~last_type:a ~last_block:block v
-           in
-           if feasible then begin
-             remaining.(a) <- remaining.(a) - 1;
-             let score =
-               Cost.step ~alpha ?weights ~last:!last a
-               +. Cost.heuristic_with_last ~alpha ?weights ~last:(Some a)
-                    remaining
-             in
-             remaining.(a) <- remaining.(a) + 1;
-             if score < !best_score then begin
-               best_score := score;
-               best := a
-             end
-           end;
-           v.(a) <- v.(a) - 1
-         end
-       done;
-       if !best < 0 then begin
-         dead_end := true;
-         raise Exit
-       end;
-       let a = !best in
-       v.(a) <- v.(a) + 1;
-       remaining.(a) <- remaining.(a) - 1;
-       rev_types := a :: !rev_types;
-       last := Some a;
-       incr expanded
-     done
-   with Exit -> ());
+  let cand_types = Array.make n_types 0 in
+  let cand_sat = Array.make n_types
+      { Sat_engine.last_type = None; last_block = None; v = [||] } in
+  Fun.protect ~finally:(fun () -> Sat_engine.shutdown engine) (fun () ->
+  try
+    for _step = 1 to total do
+      if Budget.expired budget then begin
+        timeout := true;
+        raise Exit
+      end;
+      (* Score every feasible successor: marginal cost plus the bound on
+         the rest; commit to the best without backtracking.  All
+         successors of a step are checked as one batch. *)
+      let n_cands = ref 0 in
+      for a = 0 to n_types - 1 do
+        if v.(a) < counts.(a) then begin
+          let block = task.Task.blocks_by_type.(a).(v.(a)) in
+          incr generated;
+          v.(a) <- v.(a) + 1;
+          cand_types.(!n_cands) <- a;
+          cand_sat.(!n_cands) <-
+            {
+              Sat_engine.last_type = Some a;
+              last_block = Some block;
+              v = Array.copy v;
+            };
+          v.(a) <- v.(a) - 1;
+          incr n_cands
+        end
+      done;
+      let oks = Sat_engine.check_batch engine (Array.sub cand_sat 0 !n_cands) in
+      let best = ref (-1) and best_score = ref infinity in
+      for i = 0 to !n_cands - 1 do
+        if oks.(i) then begin
+          let a = cand_types.(i) in
+          remaining.(a) <- remaining.(a) - 1;
+          let score =
+            Cost.step ~alpha ?weights ~last:!last a
+            +. Cost.heuristic_with_last ~alpha ?weights ~last:(Some a)
+                 remaining
+          in
+          remaining.(a) <- remaining.(a) + 1;
+          if score < !best_score then begin
+            best_score := score;
+            best := a
+          end
+        end
+      done;
+      if !best < 0 then begin
+        dead_end := true;
+        raise Exit
+      end;
+      let a = !best in
+      v.(a) <- v.(a) + 1;
+      remaining.(a) <- remaining.(a) - 1;
+      rev_types := a :: !rev_types;
+      last := Some a;
+      incr expanded
+    done
+  with Exit -> ());
   let stats =
     {
       Planner.expanded = !expanded;
       generated = !generated;
-      sat_checks = Constraint.checks_performed checker;
-      cache_hits = Cache.hits cache;
+      sat_checks = Sat_engine.checks_performed engine;
+      cache_hits = Sat_engine.cache_hits engine;
+      check_seconds = Sat_engine.check_seconds engine;
       elapsed = Kutil.Timer.now () -. started;
     }
   in

@@ -18,7 +18,7 @@ let plan ?(config = Planner.default_config) (task : Task.t) =
   let started = Kutil.Timer.now () in
   let zero_stats =
     { Planner.expanded = 0; generated = 0; sat_checks = 0; cache_hits = 0;
-      elapsed = 0.0 }
+      check_seconds = 0.0; elapsed = 0.0 }
   in
   if task.Task.adds_layer then
     {
@@ -117,6 +117,7 @@ let plan ?(config = Planner.default_config) (task : Task.t) =
         generated = !generated;
         sat_checks = Constraint.checks_performed checker;
         cache_hits = 0;
+        check_seconds = 0.0;
         elapsed = Kutil.Timer.now () -. started;
       }
     in

@@ -10,6 +10,7 @@ let plan ?(config = Planner.default_config) (task : Task.t) =
       generated;
       sat_checks = Constraint.checks_performed checker;
       cache_hits = 0;
+      check_seconds = 0.0;
       elapsed = Kutil.Timer.now () -. started;
     }
   in
@@ -22,7 +23,7 @@ let plan ?(config = Planner.default_config) (task : Task.t) =
            objective is undefined on it";
       stats =
         { expanded = 0; generated = 0; sat_checks = 0; cache_hits = 0;
-          elapsed = 0.0 };
+          check_seconds = 0.0; elapsed = 0.0 };
     }
   else begin
     let budget =

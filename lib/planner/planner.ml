@@ -1,14 +1,23 @@
-type config = { budget_seconds : float option; use_cache : bool }
+type config = {
+  budget_seconds : float option;
+  use_cache : bool;
+  jobs : int;
+}
 
-let default_config = { budget_seconds = Some 120.0; use_cache = true }
+let default_config = { budget_seconds = Some 120.0; use_cache = true; jobs = 1 }
 
 let with_budget budget_seconds = { default_config with budget_seconds }
+
+let with_jobs jobs config =
+  if jobs < 1 then invalid_arg "Planner.with_jobs: jobs must be >= 1";
+  { config with jobs }
 
 type stats = {
   expanded : int;
   generated : int;
   sat_checks : int;
   cache_hits : int;
+  check_seconds : float;
   elapsed : float;
 }
 
@@ -38,6 +47,7 @@ let pp_result fmt r =
     | Unsupported why -> Printf.sprintf "unsupported: %s" why
   in
   Format.fprintf fmt
-    "%s: %s  [expanded %d, generated %d, checks %d, cache hits %d, %.3fs]"
+    "%s: %s  [expanded %d, generated %d, checks %d (%.3fs), cache hits %d, \
+     %.3fs]"
     r.planner outcome r.stats.expanded r.stats.generated r.stats.sat_checks
-    r.stats.cache_hits r.stats.elapsed
+    r.stats.check_seconds r.stats.cache_hits r.stats.elapsed

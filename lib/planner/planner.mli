@@ -11,19 +11,30 @@ type config = {
   use_cache : bool;
       (** Efficient satisfiability checking (the cache table T{_c} of
           §4.2).  [false] reproduces the "Klotski w/o ESC" ablation. *)
+  jobs : int;
+      (** Satisfiability-engine workers (domains).  [1] (the default) is
+          the bit-identical sequential path; [n > 1] fans candidate
+          checks out over a {!Kutil.Domain_pool} of [n] workers. *)
 }
 
 val default_config : config
-(** 120-second budget, cache enabled. *)
+(** 120-second budget, cache enabled, one worker. *)
 
 val with_budget : float option -> config
 (** {!default_config} with another budget. *)
+
+val with_jobs : int -> config -> config
+(** [with_jobs n config] sets the worker count.  Raises
+    [Invalid_argument] when [n < 1]. *)
 
 type stats = {
   expanded : int;  (** States popped / steps committed. *)
   generated : int;  (** Candidate states examined. *)
   sat_checks : int;  (** Full (uncached) satisfiability checks. *)
   cache_hits : int;  (** Checks answered by the cache table. *)
+  check_seconds : float;
+      (** Wall-clock seconds spent inside satisfiability checking (the
+          engine's batches); [0.] for planners that do not meter it. *)
   elapsed : float;  (** Planning wall-clock seconds. *)
 }
 

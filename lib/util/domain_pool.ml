@@ -1,0 +1,123 @@
+(* A fixed pool of worker domains with a batch-map interface.
+
+   The caller participates as worker 0, so a pool of [jobs = 1] spawns no
+   domains and [map] degenerates to [Array.map] — the sequential path pays
+   no synchronization.  Batches are dispatched by bumping an epoch under
+   the pool mutex; workers claim item indices from a shared atomic cursor,
+   so results land at the index of their item (deterministic order) while
+   the schedule itself is free to balance load. *)
+
+type t = {
+  size : int;
+  mutable job : (int -> unit) option;  (* protected by [m] *)
+  mutable epoch : int;
+  mutable busy : int;  (* spawned workers still running the current epoch *)
+  mutable stop : bool;
+  m : Mutex.t;
+  work_cv : Condition.t;  (* workers: a new epoch (or stop) is available *)
+  done_cv : Condition.t;  (* caller: busy dropped to zero *)
+  mutable domains : unit Domain.t array;
+}
+
+let size pool = pool.size
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Domain_pool.create: jobs must be >= 1";
+  let pool =
+    {
+      size = jobs;
+      job = None;
+      epoch = 0;
+      busy = 0;
+      stop = false;
+      m = Mutex.create ();
+      work_cv = Condition.create ();
+      done_cv = Condition.create ();
+      domains = [||];
+    }
+  in
+  let worker wid =
+    let seen = ref 0 in
+    let rec loop () =
+      Mutex.lock pool.m;
+      while (not pool.stop) && pool.epoch = !seen do
+        Condition.wait pool.work_cv pool.m
+      done;
+      if pool.stop then Mutex.unlock pool.m
+      else begin
+        seen := pool.epoch;
+        let f = Option.get pool.job in
+        Mutex.unlock pool.m;
+        (* [f] is the map body below; it traps item exceptions itself, but
+           never let a worker die and wedge the done handshake. *)
+        (try f wid with _ -> ());
+        Mutex.lock pool.m;
+        pool.busy <- pool.busy - 1;
+        if pool.busy = 0 then Condition.broadcast pool.done_cv;
+        Mutex.unlock pool.m;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  pool.domains <-
+    Array.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1)));
+  pool
+
+let map pool ~worker items =
+  let n = Array.length items in
+  if pool.size = 1 || n <= 1 then Array.map (fun x -> worker 0 x) items
+  else begin
+    if pool.stop then invalid_arg "Domain_pool.map: pool is shut down";
+    let results = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let failed = Atomic.make None in
+    let body wid =
+      let rec grab () =
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i < n then begin
+          (match Atomic.get failed with
+          | Some _ -> ()  (* drain the remaining indices without working *)
+          | None -> (
+              try results.(i) <- Some (worker wid items.(i))
+              with e -> ignore (Atomic.compare_and_set failed None (Some e))));
+          grab ()
+        end
+      in
+      grab ()
+    in
+    Mutex.lock pool.m;
+    pool.job <- Some body;
+    pool.busy <- pool.size - 1;
+    pool.epoch <- pool.epoch + 1;
+    Condition.broadcast pool.work_cv;
+    Mutex.unlock pool.m;
+    body 0;
+    Mutex.lock pool.m;
+    while pool.busy > 0 do
+      Condition.wait pool.done_cv pool.m
+    done;
+    pool.job <- None;
+    Mutex.unlock pool.m;
+    match Atomic.get failed with
+    | Some e -> raise e
+    | None ->
+        Array.map (function Some r -> r | None -> assert false) results
+  end
+
+let shutdown pool =
+  Mutex.lock pool.m;
+  if pool.stop then Mutex.unlock pool.m
+  else begin
+    pool.stop <- true;
+    Condition.broadcast pool.work_cv;
+    Mutex.unlock pool.m;
+    Array.iter Domain.join pool.domains;
+    pool.domains <- [||]
+  end
+
+let with_pool ~jobs f =
+  let pool = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let recommended_jobs () = Domain.recommended_domain_count ()

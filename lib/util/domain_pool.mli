@@ -1,0 +1,39 @@
+(** A fixed pool of worker domains (OCaml 5 multicore) with a
+    deterministic batch-map interface.
+
+    The calling domain participates as worker 0: a pool created with
+    [~jobs:1] spawns no domains at all and {!map} is a plain [Array.map],
+    so sequential callers pay nothing.  With [jobs > 1], [jobs - 1]
+    domains are spawned once and reused across batches. *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] builds a pool of [jobs] workers ([jobs - 1] spawned
+    domains plus the caller).  Raises [Invalid_argument] when [jobs < 1]. *)
+
+val size : t -> int
+(** Total workers, including the caller. *)
+
+val map : t -> worker:(int -> 'a -> 'b) -> 'a array -> 'b array
+(** [map pool ~worker items] evaluates [worker wid items.(i)] for every
+    [i], with [wid] the index (0 to [size - 1]) of the worker that claimed
+    the item, and returns the results in item order.  Items are claimed
+    dynamically, so the schedule balances uneven work; the result order is
+    deterministic regardless.  [worker] must only touch shared state that
+    is safe for the worker id it is given (e.g. per-worker scratch
+    indexed by [wid]).
+
+    If any item raises, one such exception is re-raised in the caller
+    after the whole batch settles; the pool remains usable. *)
+
+val shutdown : t -> unit
+(** Stop and join the spawned domains.  Idempotent; [map] after shutdown
+    raises [Invalid_argument] (except on the trivial inline path). *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] on a fresh pool and shuts it down on the
+    way out, even on exceptions. *)
+
+val recommended_jobs : unit -> int
+(** The runtime's recommended domain count for this machine. *)

@@ -15,12 +15,14 @@ let mean xs =
   if n = 0 then 0.0 else sum xs /. float_of_int n
 
 let stddev xs =
+  (* Sample estimator (Bessel's correction): bench summaries are computed
+     over small repetition counts, where dividing by n biases low. *)
   let n = Array.length xs in
   if n < 2 then 0.0
   else
     let m = mean xs in
     let acc = Array.fold_left (fun a x -> a +. ((x -. m) ** 2.0)) 0.0 xs in
-    sqrt (acc /. float_of_int n)
+    sqrt (acc /. float_of_int (n - 1))
 
 let min_max xs =
   if Array.length xs = 0 then invalid_arg "Stats.min_max: empty array";

@@ -5,7 +5,8 @@ val mean : float array -> float
 (** Arithmetic mean; 0. on an empty array. *)
 
 val stddev : float array -> float
-(** Population standard deviation; 0. on arrays of length < 2. *)
+(** Sample standard deviation (Bessel-corrected, divides by [n - 1]);
+    0. on arrays of length < 2. *)
 
 val min_max : float array -> float * float
 (** [(min, max)] of a non-empty array.  Raises [Invalid_argument] on

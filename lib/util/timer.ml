@@ -1,8 +1,11 @@
-(* We avoid a Unix dependency: [Sys.time] is CPU time, which is exactly what
-   a planning budget should meter (the planner is CPU-bound and
-   single-threaded, so CPU time tracks wall time), and it is portable. *)
+(* Wall clock vs CPU clock: planning budgets and elapsed-time reporting
+   use the wall clock — since the satisfiability engine fans checks out
+   over a domain pool, CPU time accrues [jobs] times faster than wall time
+   and would shrink budgets under parallelism.  [cpu] remains available
+   for callers that want single-threaded CPU accounting. *)
 
-let now () = Sys.time ()
+let now () = Unix.gettimeofday ()
+let cpu () = Sys.time ()
 
 let time f =
   let start = now () in

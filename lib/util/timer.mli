@@ -6,10 +6,13 @@
     cutoff mechanism with a configurable limit. *)
 
 val now : unit -> float
-(** Monotonic-ish wall-clock seconds ([Unix]-free: uses [Sys.time] plus
-    [Unix.gettimeofday] when available; here simply
-    [Stdlib.Sys.time]-independent via [Stdlib]).  Suitable for measuring
-    elapsed planning time. *)
+(** Wall-clock seconds ([Unix.gettimeofday]).  Planning budgets and
+    elapsed-time reporting use the wall clock: with the parallel
+    satisfiability engine, CPU time accrues [jobs] times faster than wall
+    time and would shrink budgets under parallelism. *)
+
+val cpu : unit -> float
+(** Process CPU seconds ([Sys.time]); sums over all domains. *)
 
 val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f ()] and returns its result together with the elapsed

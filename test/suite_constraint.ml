@@ -160,7 +160,10 @@ let test_cache_disabled () =
   ignore (Cache.check cache ck v);
   ignore (Cache.check cache ck v);
   Alcotest.(check int) "no hits" 0 (Cache.hits cache);
-  Alcotest.(check int) "two misses" 2 (Cache.misses cache);
+  (* Disabled checks are bypasses, not misses: the "w/o ESC" ablation must
+     not report a bogus miss count / hit-rate denominator. *)
+  Alcotest.(check int) "no misses" 0 (Cache.misses cache);
+  Alcotest.(check int) "two bypasses" 2 (Cache.bypassed cache);
   Alcotest.(check int) "two full checks" 2 (Constraint.checks_performed ck)
 
 let test_cache_mutation_safe () =

@@ -9,7 +9,7 @@ let test_planner_result_helpers () =
   in
   let stats =
     { Planner.expanded = 1; generated = 2; sat_checks = 3; cache_hits = 4;
-      elapsed = 0.5 }
+      check_seconds = 0.1; elapsed = 0.5 }
   in
   let found = { Planner.planner = "x"; outcome = Planner.Found plan; stats } in
   Alcotest.(check (option (float 1e-9))) "cost of Found" (Some plan.Plan.cost)
@@ -27,7 +27,7 @@ let test_planner_result_helpers () =
 let test_result_pretty_printing () =
   let stats =
     { Planner.expanded = 1; generated = 2; sat_checks = 3; cache_hits = 4;
-      elapsed = 0.5 }
+      check_seconds = 0.1; elapsed = 0.5 }
   in
   let render outcome =
     Format.asprintf "%a" Planner.pp_result

@@ -196,7 +196,8 @@ let test_forklift_planning () =
 let test_timeout_reported () =
   let task = Task.of_scenario (Gen.scenario_of_label "B") in
   match
-    (Astar.plan ~config:{ Planner.budget_seconds = Some 1e-9; use_cache = true }
+    (Astar.plan
+       ~config:{ Planner.default_config with Planner.budget_seconds = Some 1e-9 }
        task)
       .Planner.outcome
   with

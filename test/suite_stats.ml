@@ -10,8 +10,12 @@ let test_mean () =
 
 let test_stddev () =
   Alcotest.check feq "constant" 0.0 (Stats.stddev [| 5.0; 5.0; 5.0 |]);
-  Alcotest.check (Alcotest.float 1e-6) "known" 2.0
+  (* Sample (n-1) estimator: sum of squared deviations is 32 over 8
+     values, so s = sqrt (32 / 7). *)
+  Alcotest.check (Alcotest.float 1e-6) "known" (sqrt (32.0 /. 7.0))
     (Stats.stddev [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |]);
+  Alcotest.check (Alcotest.float 1e-6) "two points" (sqrt 2.0)
+    (Stats.stddev [| 1.0; 3.0 |]);
   Alcotest.check feq "singleton" 0.0 (Stats.stddev [| 42.0 |])
 
 let test_min_max () =

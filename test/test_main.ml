@@ -17,7 +17,9 @@ let () =
       Suite_traffic.suite;
       Suite_migration.suite;
       Suite_constraint.suite;
+      Suite_domain_pool.suite;
       Suite_planners.suite;
+      Suite_parallel.suite;
       Suite_plan.suite;
       Suite_npd.suite;
       Suite_extensions.suite;
