@@ -464,7 +464,7 @@ let write_parallel_json path rows =
   let oc = open_out path in
   Printf.fprintf oc "{\n  \"experiment\": \"parallel-planning\",\n";
   Printf.fprintf oc "  \"cores\": %d,\n  \"rows\": [\n"
-    (Kutil.Domain_pool.recommended_jobs ());
+    (Domain.recommended_domain_count ());
   let n = List.length rows in
   List.iteri
     (fun i (label, jobs_n, t1, tn, same_cost) ->
@@ -526,6 +526,108 @@ let par opts =
   write_parallel_json path (List.rev !rows);
   Runner.note (Printf.sprintf "wrote %s" path)
 
+(* ------------------------------------------------------------------ *)
+(* Incremental satisfiability: full ECMP replay per check vs the
+   demand–block delta evaluation, per topology and planner.  Reported as
+   seconds per full (uncached) check, so the comparison is independent of
+   how many checks each configuration happens to run; dumped to
+   BENCH_INCREMENTAL.json for the record. *)
+
+let write_incremental_json path rows =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"experiment\": \"incremental-satisfiability\",\n";
+  Printf.fprintf oc "  \"cores\": %d,\n  \"rows\": [\n"
+    (Domain.recommended_domain_count ());
+  let n = List.length rows in
+  List.iteri
+    (fun i (label, planner, checks, spc_full, spc_inc, same_cost) ->
+      Printf.fprintf oc
+        "    {\"topology\": %S, \"planner\": %S, \"checks\": %d, \
+         \"seconds_per_check_full\": %.9f, \
+         \"seconds_per_check_incremental\": %.9f, \"speedup\": %.3f, \
+         \"same_cost\": %b}%s\n"
+        label planner checks spc_full spc_inc
+        (spc_full /. Float.max spc_inc 1e-12)
+        same_cost
+        (if i = n - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
+let inc opts =
+  Runner.heading
+    "Incremental satisfiability: full replay vs delta evaluation";
+  Runner.note
+    "Seconds per uncached check, same planner and topology; same_cost \
+     asserts the plans are equally good either way.";
+  let tasks =
+    if opts.quick then [ ("A", task "A") ]
+    else begin
+      let p = { (Gen.params_c ()) with Gen.mas = 24 } in
+      [
+        ("A", task "A");
+        ("B", task "B");
+        ("C", task "C");
+        ("C-SSW", Task.of_scenario (Gen.build Gen.Ssw_forklift p));
+        ("C-DMAG", Task.of_scenario (Gen.build Gen.Dmag p));
+      ]
+    end
+  in
+  let planners =
+    [
+      ("astar", fun ~config task -> Astar.plan ~config task);
+      ("dp", fun ~config task -> Dp.plan ~config task);
+      ("greedy", fun ~config task -> Greedy.plan ~config task);
+    ]
+  in
+  let t =
+    Table_fmt.create
+      ~headers:
+        [ "Topology"; "Planner"; "Checks"; "Full (s/check)"; "Inc (s/check)";
+          "Speedup"; "Same cost" ]
+  in
+  let rows = ref [] in
+  List.iter
+    (fun (label, task) ->
+      List.iter
+        (fun (pname, plan) ->
+          Printf.printf "  %s / %s...\n%!" label pname;
+          let full =
+            plan ~config:(Planner.with_incremental false (cfg opts)) task
+          in
+          let incr = plan ~config:(cfg opts) task in
+          let spc r =
+            r.Planner.stats.Planner.check_seconds
+            /. float_of_int (max 1 r.Planner.stats.Planner.sat_checks)
+          in
+          let spc_full = spc full and spc_inc = spc incr in
+          let same_cost =
+            match (Planner.cost_of full, Planner.cost_of incr) with
+            | Some a, Some b -> Float.abs (a -. b) < 1e-9
+            | None, None -> true
+            | _ -> false
+          in
+          rows :=
+            (label, pname, incr.Planner.stats.Planner.sat_checks, spc_full,
+             spc_inc, same_cost)
+            :: !rows;
+          Table_fmt.add_row t
+            [
+              label;
+              pname;
+              string_of_int incr.Planner.stats.Planner.sat_checks;
+              Printf.sprintf "%.2e" spc_full;
+              Printf.sprintf "%.2e" spc_inc;
+              Printf.sprintf "%.2fx" (spc_full /. Float.max spc_inc 1e-12);
+              (if same_cost then "yes" else "NO");
+            ])
+        planners)
+    tasks;
+  Table_fmt.print ~align:Table_fmt.Right t;
+  let path = "BENCH_INCREMENTAL.json" in
+  write_incremental_json path (List.rev !rows);
+  Runner.note (Printf.sprintf "wrote %s" path)
+
 let all = [
   ("table1", table1);
   ("table3", table3);
@@ -536,5 +638,6 @@ let all = [
   ("fig12", fig12);
   ("fig13", fig13);
   ("par", par);
+  ("inc", inc);
   ("ext", ext);
 ]

@@ -51,6 +51,16 @@ let jobs =
   let env = Cmd.Env.info "KLOTSKI_JOBS" ~doc in
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~env ~docv:"N" ~doc)
 
+let no_incremental =
+  let doc =
+    "Disable incremental demand evaluation: every satisfiability check \
+     replays all ECMP classes from scratch (the historical path).  \
+     Verdicts, plans and costs are identical either way; this is an \
+     escape hatch and the baseline for the incremental benchmark.  \
+     Setting KLOTSKI_INCREMENTAL=0 has the same effect globally."
+  in
+  Arg.(value & flag & info [ "no-incremental" ] ~doc)
+
 let resolve_jobs n =
   if n = 0 then Kutil.Domain_pool.recommended_jobs ()
   else if n < 0 then begin
@@ -205,7 +215,7 @@ let plan_cmd =
     Arg.(value & flag & info [ "timeline" ] ~doc)
   in
   let run verbose path planner theta alpha budget block_factor seed jobs
-      no_validate plan_out timeline =
+      no_incremental no_validate plan_out timeline =
     setup_logs verbose;
     let _, task = load_task ~theta ~alpha ~block_factor ~seed path in
     let planner_kind =
@@ -220,7 +230,9 @@ let plan_cmd =
           exit 1
     in
     let config =
-      Planner.with_jobs (resolve_jobs jobs) (Planner.with_budget (Some budget))
+      Planner.with_incremental (not no_incremental)
+        (Planner.with_jobs (resolve_jobs jobs)
+           (Planner.with_budget (Some budget)))
     in
     let result = Klotski.plan ~planner:planner_kind ~config task in
     Format.printf "%a@." Planner.pp_result result;
@@ -254,7 +266,8 @@ let plan_cmd =
     (Cmd.info "plan" ~doc:"Compute a safe migration plan from an NPD file.")
     Term.(
       const run $ verbose $ npd_file $ planner $ theta $ alpha $ budget
-      $ block_factor $ seed $ jobs $ no_validate $ plan_out $ timeline)
+      $ block_factor $ seed $ jobs $ no_incremental $ no_validate $ plan_out
+      $ timeline)
 
 (* ------------------------------------------------------------------ *)
 (* simulate *)
@@ -272,11 +285,13 @@ let simulate_cmd =
     let doc = "Weekly organic demand growth (fraction)." in
     Arg.(value & opt float 0.01 & info [ "growth" ] ~doc)
   in
-  let run verbose path theta seed jobs weeks failure_probability growth =
+  let run verbose path theta seed jobs no_incremental weeks
+      failure_probability growth =
     setup_logs verbose;
     let _, task = load_task ~theta ~seed path in
     let config =
-      Planner.with_jobs (resolve_jobs jobs) Planner.default_config
+      Planner.with_incremental (not no_incremental)
+        (Planner.with_jobs (resolve_jobs jobs) Planner.default_config)
     in
     match Klotski.plan ~config task with
     | { Planner.outcome = Planner.Found plan; _ } ->
@@ -315,8 +330,8 @@ let simulate_cmd =
           pre-step audits, push failures and replanning (the deployment \
           workflow of the paper's experience section).")
     Term.(
-      const run $ verbose $ npd_file $ theta $ seed $ jobs $ weeks
-      $ failure_probability $ growth)
+      const run $ verbose $ npd_file $ theta $ seed $ jobs $ no_incremental
+      $ weeks $ failure_probability $ growth)
 
 (* ------------------------------------------------------------------ *)
 (* export *)

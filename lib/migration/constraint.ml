@@ -1,3 +1,34 @@
+module Bitset = Kutil.Bitset
+
+(* Incremental satisfiability state.  Between adjacent topology states the
+   checker patches rather than recomputes: toggled blocks are queued by
+   [set_block], the task's dependency index maps them to the affected
+   demand classes (with a dirty-stage mask each), and only those classes
+   are delta-evaluated (Ecmp.evaluate_patch) — the rest keep their load
+   contributions verbatim.  Utilization is then rechecked only on the
+   circuits whose load or usability changed.  When the queued delta is
+   not local enough to pay off, everything falls back to a full rebuild. *)
+type inc = {
+  classes : Ecmp.inc array;  (* per compiled class *)
+  mutable total_stuck : float;
+  mutable loads_valid : bool;
+  (* blocks toggled since the last demand evaluation *)
+  mutable pending : int array;
+  mutable pending_len : int;
+  masks : int array;  (* per class: union dirty-stage mask, scratch *)
+  (* utilization violations, maintained incrementally *)
+  bad : Bytes.t;
+  mutable n_bad : int;
+  (* circuits whose load or usability changed in the current patch *)
+  dirty : Bitset.t;
+  mutable dirty_list : int array;
+  mutable dirty_len : int;
+  (* candidate-count cost model for the fallback decision *)
+  suffix_cost : float array array;  (* class -> stage -> candidates from stage on *)
+  full_cost : float;
+  mutable patches_left : int;
+}
+
 type t = {
   task : Task.t;
   topo : Topo.t;
@@ -8,9 +39,63 @@ type t = {
   related : int array option array;  (* funneling neighborhoods, lazy *)
   power_load : float array;  (* active draw per power domain *)
   mutable power_violations : int;  (* domains over capacity *)
+  inc : inc option;
 }
 
-let create (task : Task.t) =
+(* Refresh every so many patches: bounds the float drift the subtract/add
+   load patching can accumulate (each refresh recomputes loads from
+   zero). *)
+let patch_interval = 512
+
+(* Fall back to a rebuild when the estimated delta work exceeds this
+   fraction of a full evaluation: near the break-even point the patch's
+   bookkeeping (load subtraction, dirty marking) eats the saving, so only
+   clearly profitable deltas are worth taking. *)
+let fallback_fraction = 0.5
+
+let env_enabled =
+  lazy
+    (match Sys.getenv_opt "KLOTSKI_INCREMENTAL" with
+    | Some ("0" | "false" | "off" | "no") -> false
+    | _ -> true)
+
+let make_inc (task : Task.t) topo =
+  let n_circuits = Topo.n_circuits topo in
+  let class_cost =
+    Array.map
+      (fun (c, _) -> float_of_int (Ecmp.stage_circuit_count c))
+      task.Task.compiled
+  in
+  let suffix_cost =
+    Array.map
+      (fun (c, _) ->
+        let sizes = Ecmp.stage_sizes c in
+        let n = Array.length sizes in
+        let suffix = Array.make (n + 1) 0.0 in
+        for k = n - 1 downto 0 do
+          suffix.(k) <- suffix.(k + 1) +. float_of_int sizes.(k)
+        done;
+        suffix)
+      task.Task.compiled
+  in
+  {
+    classes = Array.map (fun (c, _) -> Ecmp.make_inc topo c) task.Task.compiled;
+    total_stuck = 0.0;
+    loads_valid = false;
+    pending = Array.make 64 0;
+    pending_len = 0;
+    masks = Array.make (Array.length task.Task.compiled) 0;
+    bad = Bytes.make n_circuits '\000';
+    n_bad = 0;
+    dirty = Bitset.create n_circuits;
+    dirty_list = Array.make 256 0;
+    dirty_len = 0;
+    suffix_cost;
+    full_cost = Array.fold_left ( +. ) 0.0 class_cost;
+    patches_left = patch_interval;
+  }
+
+let create ?(incremental = true) (task : Task.t) =
   let topo = Topo.copy task.Task.topo in
   let power_load, power_violations =
     match task.Task.power with
@@ -33,9 +118,14 @@ let create (task : Task.t) =
     related = Array.make (Array.length task.Task.blocks) None;
     power_load;
     power_violations;
+    inc =
+      (if incremental && Lazy.force env_enabled then Some (make_inc task topo)
+       else None);
   }
 
 let task ck = ck.task
+
+let incremental_active ck = ck.inc <> None
 
 (* Account a real activity transition of switch [s] against its power
    domain, maintaining the over-capacity domain count. *)
@@ -57,6 +147,15 @@ let bump_power ck s ~became_active =
           ck.power_violations <- ck.power_violations - 1
       end
 
+let note_pending st b =
+  if st.pending_len = Array.length st.pending then begin
+    let grown = Array.make (2 * st.pending_len) 0 in
+    Array.blit st.pending 0 grown 0 st.pending_len;
+    st.pending <- grown
+  end;
+  st.pending.(st.pending_len) <- b;
+  st.pending_len <- st.pending_len + 1
+
 let set_block ck (b : Blocks.t) ~applied =
   let active =
     match b.Blocks.action.Action.op with
@@ -70,7 +169,8 @@ let set_block ck (b : Blocks.t) ~applied =
         Topo.set_switch_active ck.topo s active
       end)
     b.Blocks.switches;
-  Array.iter (fun c -> Topo.set_circuit_active ck.topo c active) b.Blocks.circuits
+  Array.iter (fun c -> Topo.set_circuit_active ck.topo c active) b.Blocks.circuits;
+  match ck.inc with Some st -> note_pending st b.Blocks.id | None -> ()
 
 let power_ok ck = ck.power_violations = 0
 
@@ -136,16 +236,19 @@ let related_circuits ck b =
       ck.related.(b) <- Some circuits;
       circuits
 
-let eval_demands ck =
+let split_of ck =
+  match ck.task.Task.routing with
+  | `Ecmp -> `Equal
+  | `Weighted -> `Capacity_weighted
+
+(* The original full evaluation: zero the loads, replay every class.
+   Used when the incremental layer is disabled. *)
+let eval_demands_full ck =
   Array.fill ck.loads 0 (Array.length ck.loads) 0.0;
   let stuck = ref 0.0 in
+  let split = split_of ck in
   Array.iter
     (fun (compiled, scale) ->
-      let split =
-        match ck.task.Task.routing with
-        | `Ecmp -> `Equal
-        | `Weighted -> `Capacity_weighted
-      in
       let r =
         Ecmp.evaluate ~scale ~split ck.topo ck.scratch compiled ~loads:ck.loads
       in
@@ -153,17 +256,155 @@ let eval_demands ck =
     ck.task.Task.compiled;
   !stuck
 
+let circuit_bad ck j =
+  let load = ck.loads.(j) in
+  load > 0.0
+  && Topo.usable ck.topo j
+  && load /. (Topo.circuit ck.topo j).Circuit.capacity
+     > ck.task.Task.theta +. 1e-9
+
+let rebuild_bad ck st =
+  Bytes.fill st.bad 0 (Bytes.length st.bad) '\000';
+  let n_bad = ref 0 in
+  for j = 0 to Array.length ck.loads - 1 do
+    if circuit_bad ck j then begin
+      Bytes.unsafe_set st.bad j '\001';
+      incr n_bad
+    end
+  done;
+  st.n_bad <- !n_bad
+
+(* Full rebuild of the incremental state: loads from zero, per-class
+   recorded stages, utilization flags. *)
+let refresh ck st =
+  Array.fill ck.loads 0 (Array.length ck.loads) 0.0;
+  let split = split_of ck in
+  let stuck = ref 0.0 in
+  Array.iteri
+    (fun d (_, scale) ->
+      stuck :=
+        !stuck
+        +. Ecmp.evaluate_rebuild ~scale ~split ck.topo ck.scratch
+             st.classes.(d) ~loads:ck.loads)
+    ck.task.Task.compiled;
+  st.total_stuck <- !stuck;
+  st.loads_valid <- true;
+  st.pending_len <- 0;
+  st.patches_left <- patch_interval;
+  rebuild_bad ck st;
+  !stuck
+
+let mark_dirty st j =
+  if not (Bitset.mem st.dirty j) then begin
+    Bitset.add st.dirty j;
+    if st.dirty_len = Array.length st.dirty_list then begin
+      let grown = Array.make (2 * st.dirty_len) 0 in
+      Array.blit st.dirty_list 0 grown 0 st.dirty_len;
+      st.dirty_list <- grown
+    end;
+    st.dirty_list.(st.dirty_len) <- j;
+    st.dirty_len <- st.dirty_len + 1
+  end
+
+(* Usability may have flipped on the pending blocks' own circuits and on
+   every circuit incident to their switches: recheck those even when their
+   load did not move. *)
+let mark_block_circuits ck st =
+  for i = 0 to st.pending_len - 1 do
+    let block = ck.task.Task.blocks.(st.pending.(i)) in
+    Array.iter (fun j -> mark_dirty st j) block.Blocks.circuits;
+    Array.iter
+      (fun s ->
+        Array.iter (fun j -> mark_dirty st j) (Topo.up_circuits ck.topo s);
+        Array.iter (fun j -> mark_dirty st j) (Topo.down_circuits ck.topo s))
+      block.Blocks.switches
+  done
+
+let recheck_dirty ck st =
+  for i = 0 to st.dirty_len - 1 do
+    let j = st.dirty_list.(i) in
+    let was = Bytes.unsafe_get st.bad j = '\001' in
+    let now = circuit_bad ck j in
+    if now <> was then begin
+      Bytes.unsafe_set st.bad j (if now then '\001' else '\000');
+      st.n_bad <- st.n_bad + (if now then 1 else -1)
+    end;
+    Bitset.remove st.dirty j
+  done;
+  st.dirty_len <- 0
+
+let lowest_bit m =
+  let rec go k = if m land (1 lsl k) <> 0 || k >= 62 then k else go (k + 1) in
+  go 0
+
+let eval_incremental ck st =
+  if (not st.loads_valid) || st.patches_left <= 0 then refresh ck st
+  else if st.pending_len = 0 then st.total_stuck
+  else begin
+    Array.fill st.masks 0 (Array.length st.masks) 0;
+    for i = 0 to st.pending_len - 1 do
+      Array.iter
+        (fun (d, m) -> st.masks.(d) <- st.masks.(d) lor m)
+        ck.task.Task.deps.(st.pending.(i))
+    done;
+    (* Estimated delta work: a patched class re-runs its dirty suffix —
+       backward sweep (with early cutoff) plus the two forward passes —
+       so roughly the suffix candidate count, in the same units as
+       [full_cost] (a full evaluation visits every candidate). *)
+    let est = ref 0.0 in
+    Array.iteri
+      (fun d m ->
+        if m <> 0 then begin
+          let suffix = st.suffix_cost.(d) in
+          let r = min (lowest_bit m) (Array.length suffix - 1) in
+          est := !est +. suffix.(r)
+        end)
+      st.masks;
+    if !est >= fallback_fraction *. st.full_cost then refresh ck st
+    else begin
+      st.patches_left <- st.patches_left - 1;
+      mark_block_circuits ck st;
+      let split = split_of ck in
+      let stuck = ref st.total_stuck in
+      Array.iteri
+        (fun d m ->
+          if m <> 0 then begin
+            let cls = st.classes.(d) in
+            let old = Ecmp.class_stuck cls in
+            let _, scale = ck.task.Task.compiled.(d) in
+            let fresh =
+              Ecmp.evaluate_patch ~scale ~split ck.topo ck.scratch cls ~dirty:m
+                ~loads:ck.loads ~mark:(fun j -> mark_dirty st j)
+            in
+            stuck := !stuck -. old +. fresh
+          end)
+        st.masks;
+      st.total_stuck <- !stuck;
+      st.pending_len <- 0;
+      recheck_dirty ck st;
+      !stuck
+    end
+  end
+
+let eval_demands ck =
+  match ck.inc with
+  | None -> eval_demands_full ck
+  | Some st -> eval_incremental ck st
+
 let utilization_ok ck =
-  let theta = ck.task.Task.theta +. 1e-9 in
-  let n = Array.length ck.loads in
-  let rec loop j =
-    j >= n
-    || ((ck.loads.(j) = 0.0
-        || (not (Topo.usable ck.topo j))
-        || ck.loads.(j) /. (Topo.circuit ck.topo j).Circuit.capacity <= theta)
-       && loop (j + 1))
-  in
-  loop 0
+  match ck.inc with
+  | Some st when st.loads_valid -> st.n_bad = 0
+  | _ ->
+      let theta = ck.task.Task.theta +. 1e-9 in
+      let n = Array.length ck.loads in
+      let rec loop j =
+        j >= n
+        || ((ck.loads.(j) = 0.0
+            || (not (Topo.usable ck.topo j))
+            || ck.loads.(j) /. (Topo.circuit ck.topo j).Circuit.capacity <= theta)
+           && loop (j + 1))
+      in
+      loop 0
 
 let funneling_ok ck ~last_block =
   let phi = ck.task.Task.funneling in
@@ -269,23 +510,32 @@ type summary = {
 
 let evaluate_current ck =
   let stuck = eval_demands ck in
-  let utils = ref [] in
+  (* Bounded top-5 scan: one pass, no list of all loaded circuits. *)
+  let top_j = Array.make 5 (-1) in
+  let top_u = Array.make 5 neg_infinity in
   Array.iteri
     (fun j load ->
-      if load > 0.0 && Topo.usable ck.topo j then
-        utils := (j, load /. (Topo.circuit ck.topo j).Circuit.capacity) :: !utils)
+      if load > 0.0 && Topo.usable ck.topo j then begin
+        let u = load /. (Topo.circuit ck.topo j).Circuit.capacity in
+        if u > top_u.(4) then begin
+          let k = ref 4 in
+          while !k > 0 && u > top_u.(!k - 1) do
+            top_u.(!k) <- top_u.(!k - 1);
+            top_j.(!k) <- top_j.(!k - 1);
+            decr k
+          done;
+          top_u.(!k) <- u;
+          top_j.(!k) <- j
+        end
+      end)
     ck.loads;
-  let sorted =
-    List.sort (fun (_, a) (_, b) -> Float.compare b a) !utils
-  in
-  let rec take k = function
-    | [] -> []
-    | _ when k = 0 -> []
-    | x :: tl -> x :: take (k - 1) tl
-  in
+  let hottest = ref [] in
+  for k = 4 downto 0 do
+    if top_j.(k) >= 0 then hottest := (top_j.(k), top_u.(k)) :: !hottest
+  done;
   {
-    max_util = (match sorted with [] -> 0.0 | (_, u) :: _ -> u);
+    max_util = (if top_j.(0) >= 0 then top_u.(0) else 0.0);
     stuck;
     port_violations = Topo.port_violation_count ck.topo;
-    hottest = take 5 sorted;
+    hottest = !hottest;
   }

@@ -11,16 +11,30 @@
       {!Power.t} model, are likewise maintained incrementally (O(1));
     - demand constraints run every compiled ECMP class over the usable
       circuits and verify no volume is stuck and every circuit's
-      utilization stays within θ;
+      utilization stays within θ — by default {e incrementally}: the
+      checker queues the blocks toggled since the last evaluation, maps
+      them through the task's block→demand dependency index
+      ({!Task.t.deps}), delta-evaluates only the affected classes
+      ({!Ecmp.evaluate_patch}) and rechecks θ only on circuits whose load
+      or usability changed.  Verdicts are identical to the full
+      evaluation: unaffected classes provably contribute the same loads,
+      and a periodic full rebuild (plus a rebuild whenever the estimated
+      delta work approaches a full evaluation) bounds float drift far
+      below the 1e-9 verdict slack;
     - optionally, the transient traffic-funneling margin of §7.2 tightens
       the bound to load·(1 + φ) ≤ θ·W on the circuits that absorb the
       traffic of the block just drained. *)
 
 type t
 
-val create : Task.t -> t
+val create : ?incremental:bool -> Task.t -> t
 (** A fresh checker for [task].  The task's topology is copied; several
-    checkers never interfere. *)
+    checkers never interfere.  [incremental] (default [true]) enables the
+    delta demand evaluation; setting the environment variable
+    [KLOTSKI_INCREMENTAL=0] forces it off globally (escape hatch). *)
+
+val incremental_active : t -> bool
+(** Whether this checker delta-evaluates demands. *)
 
 val move_to : t -> Compact.t -> unit
 (** Reconfigure the private topology to the given compact state. *)
@@ -47,6 +61,13 @@ val evaluate_current : t -> summary
     examples and the CLI's [check] command). *)
 
 val task : t -> Task.t
+
+val related_circuits : t -> int -> int array
+(** The circuits that absorb a drained block's traffic — every universe
+    circuit incident to a neighbor of block [b], excluding circuits
+    incident to the block itself.  Sorted by circuit id, computed once per
+    block and cached.  This is the neighborhood the funneling margin
+    checks. *)
 
 (** {1 Raw block operations}
 

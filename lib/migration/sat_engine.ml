@@ -20,18 +20,21 @@ type t = {
   pool : Kutil.Domain_pool.t;
   checkers : Constraint.t option array;  (* slot [w] touched only by worker [w] *)
   cache : Cache.t;
+  incremental : bool;
   mutable check_seconds : float;
 }
 
-let create ?(jobs = 1) ?(use_cache = true) (task : Task.t) =
+let create ?(jobs = 1) ?(use_cache = true) ?(incremental = true)
+    (task : Task.t) =
   if jobs < 1 then invalid_arg "Sat_engine.create: jobs must be >= 1";
   let checkers = Array.make jobs None in
-  checkers.(0) <- Some (Constraint.create task);
+  checkers.(0) <- Some (Constraint.create ~incremental task);
   {
     task;
     pool = Kutil.Domain_pool.create ~jobs;
     checkers;
     cache = Cache.create ~enabled:use_cache task;
+    incremental;
     check_seconds = 0.0;
   }
 
@@ -42,7 +45,7 @@ let checker e wid =
   match e.checkers.(wid) with
   | Some ck -> ck
   | None ->
-      let ck = Constraint.create e.task in
+      let ck = Constraint.create ~incremental:e.incremental e.task in
       e.checkers.(wid) <- Some ck;
       ck
 

@@ -21,10 +21,13 @@ type candidate = {
 
 type t
 
-val create : ?jobs:int -> ?use_cache:bool -> Task.t -> t
+val create : ?jobs:int -> ?use_cache:bool -> ?incremental:bool -> Task.t -> t
 (** [create task] builds an engine with [jobs] workers (default 1) and
     the cache enabled unless [~use_cache:false] (the "w/o ESC"
-    ablation).  Raises [Invalid_argument] when [jobs < 1]. *)
+    ablation).  [incremental] (default [true]) selects delta demand
+    evaluation in every worker's checker (see {!Constraint.create});
+    workers stay independent — each owns its private incremental state.
+    Raises [Invalid_argument] when [jobs < 1]. *)
 
 val jobs : t -> int
 val task : t -> Task.t

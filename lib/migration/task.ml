@@ -14,7 +14,40 @@ type t = {
   type_weights : float array option;
   power : Power.t option;
   adds_layer : bool;
+  deps : (int * int) array array;
 }
+
+(* The block→demand dependency index: a class's flow depends only on the
+   usability of its static stage candidates (see Ecmp.iter_candidates), so
+   block [b] can affect class [d] only where b's switches or circuits meet
+   d's candidates.  [deps.(b)] lists each such class with a bitmask of the
+   stages involved (bit k = stage k; stages beyond the mask width collapse
+   into the top bit, conservatively). *)
+let build_deps topo blocks compiled =
+  let n_sw = Topo.n_switches topo and n_ci = Topo.n_circuits topo in
+  let n_classes = Array.length compiled in
+  let sw_mask = Array.make_matrix n_classes n_sw 0 in
+  let ci_mask = Array.make_matrix n_classes n_ci 0 in
+  Array.iteri
+    (fun d (c, _) ->
+      let sw = sw_mask.(d) and ci = ci_mask.(d) in
+      Ecmp.iter_candidates c ~f:(fun ~stage ~circuit ~prev ~next ->
+          let bit = 1 lsl min stage 61 in
+          ci.(circuit) <- ci.(circuit) lor bit;
+          sw.(prev) <- sw.(prev) lor bit;
+          sw.(next) <- sw.(next) lor bit))
+    compiled;
+  Array.map
+    (fun (b : Blocks.t) ->
+      let pairs = ref [] in
+      for d = n_classes - 1 downto 0 do
+        let m = ref 0 in
+        Array.iter (fun s -> m := !m lor sw_mask.(d).(s)) b.Blocks.switches;
+        Array.iter (fun j -> m := !m lor ci_mask.(d).(j)) b.Blocks.circuits;
+        if !m <> 0 then pairs := (d, !m) :: !pairs
+      done;
+      Array.of_list !pairs)
+    blocks
 
 let index_blocks blocks =
   let actions =
@@ -86,6 +119,7 @@ let of_scenario ?(theta = 0.75) ?(alpha = 0.0) ?(funneling = 0.0)
     type_weights;
     power;
     adds_layer = sc.Gen.adds_layer;
+    deps = build_deps sc.Gen.topo blocks_arr compiled;
   }
 
 

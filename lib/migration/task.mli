@@ -36,6 +36,14 @@ type t = {
           intermediate state must keep each power domain within its
           capacity.  [None] disables. *)
   adds_layer : bool;  (** Propagated from the scenario (DMAG). *)
+  deps : (int * int) array array;
+      (** Block→demand dependency index, computed at creation: [deps.(b)]
+          lists every [(class, stage mask)] whose compiled stage candidates
+          (or their endpoints) intersect block [b]'s switches or circuits —
+          the only classes whose routing can change when [b] toggles, and
+          the only stages (bit [k] = stage [k]) where the change can
+          enter.  The incremental satisfiability checker drives its delta
+          evaluation off this. *)
 }
 
 val of_scenario :

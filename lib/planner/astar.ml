@@ -45,7 +45,8 @@ let plan ?(config = Planner.default_config) ?(dedup = true) (task : Task.t) =
   let started = Kutil.Timer.now () in
   let engine =
     Sat_engine.create ~jobs:config.Planner.jobs
-      ~use_cache:config.Planner.use_cache task
+      ~use_cache:config.Planner.use_cache
+      ~incremental:config.Planner.incremental task
   in
   let n_types = Action.Set.cardinal task.Task.actions in
   let counts = task.Task.counts in

@@ -16,7 +16,8 @@ let plan ?(config = Planner.default_config) ?(bound = `Cost_only)
   let started = Kutil.Timer.now () in
   let engine =
     Sat_engine.create ~jobs:config.Planner.jobs
-      ~use_cache:config.Planner.use_cache task
+      ~use_cache:config.Planner.use_cache
+      ~incremental:config.Planner.incremental task
   in
   let parallel = Sat_engine.jobs engine > 1 in
   let n_types = Action.Set.cardinal task.Task.actions in

@@ -2,15 +2,19 @@ type config = {
   budget_seconds : float option;
   use_cache : bool;
   jobs : int;
+  incremental : bool;
 }
 
-let default_config = { budget_seconds = Some 120.0; use_cache = true; jobs = 1 }
+let default_config =
+  { budget_seconds = Some 120.0; use_cache = true; jobs = 1; incremental = true }
 
 let with_budget budget_seconds = { default_config with budget_seconds }
 
 let with_jobs jobs config =
   if jobs < 1 then invalid_arg "Planner.with_jobs: jobs must be >= 1";
   { config with jobs }
+
+let with_incremental incremental config = { config with incremental }
 
 type stats = {
   expanded : int;

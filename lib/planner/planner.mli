@@ -15,10 +15,15 @@ type config = {
       (** Satisfiability-engine workers (domains).  [1] (the default) is
           the bit-identical sequential path; [n > 1] fans candidate
           checks out over a {!Kutil.Domain_pool} of [n] workers. *)
+  incremental : bool;
+      (** Incremental demand evaluation in the satisfiability checkers
+          (default [true]; see {!Constraint.create}).  [false] runs the
+          historical full ECMP replay on every check — verdicts, plans and
+          costs are identical either way. *)
 }
 
 val default_config : config
-(** 120-second budget, cache enabled, one worker. *)
+(** 120-second budget, cache enabled, one worker, incremental checking. *)
 
 val with_budget : float option -> config
 (** {!default_config} with another budget. *)
@@ -26,6 +31,9 @@ val with_budget : float option -> config
 val with_jobs : int -> config -> config
 (** [with_jobs n config] sets the worker count.  Raises
     [Invalid_argument] when [n < 1]. *)
+
+val with_incremental : bool -> config -> config
+(** [with_incremental b config] toggles incremental demand evaluation. *)
 
 type stats = {
   expanded : int;  (** States popped / steps committed. *)

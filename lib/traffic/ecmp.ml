@@ -78,6 +78,19 @@ let source_volume c = c.volume
 let stage_circuit_count c =
   Array.fold_left (fun acc s -> acc + Array.length s.circuits) 0 c.stages
 
+let n_stages c = Array.length c.stages
+
+let stage_sizes c = Array.map (fun s -> Array.length s.circuits) c.stages
+
+let iter_candidates c ~f =
+  Array.iteri
+    (fun k stage ->
+      for i = 0 to Array.length stage.circuits - 1 do
+        f ~stage:k ~circuit:stage.circuits.(i) ~prev:stage.prevs.(i)
+          ~next:stage.nexts.(i)
+      done)
+    c.stages
+
 (* Growable scratch vector of switch ids. *)
 module Ivec = struct
   type t = { mutable data : int array; mutable len : int }
@@ -128,14 +141,14 @@ let ensure_useful sc topo count =
 
 (* A switch is useful at stage k when the remaining hops can still deliver
    from it over usable circuits — the "feasible shortest paths" ECMP routes
-   on.  Backward sweep over the compiled candidate lists. *)
-let compute_useful topo sc c =
+   on.  Backward sweep over the compiled candidate lists, writing into
+   [dst.(0 .. n_stages)]. *)
+let useful_sweep topo c dst =
   let n_stages = Array.length c.stages in
-  ensure_useful sc topo (n_stages + 1);
-  Bitset.fill sc.useful.(n_stages);
+  Bitset.fill dst.(n_stages);
   for k = n_stages - 1 downto 0 do
     let stage = c.stages.(k) in
-    let u = sc.useful.(k) and u' = sc.useful.(k + 1) in
+    let u = dst.(k) and u' = dst.(k + 1) in
     Bitset.clear u;
     for i = 0 to Array.length stage.circuits - 1 do
       if Topo.usable topo stage.circuits.(i) && Bitset.mem u' stage.nexts.(i)
@@ -143,6 +156,10 @@ let compute_useful topo sc c =
     done;
     Array.iter (fun s -> if Bitset.mem u' s then Bitset.add u s) stage.skip_switches
   done
+
+let compute_useful topo sc c =
+  ensure_useful sc topo (Array.length c.stages + 1);
+  useful_sweep topo c sc.useful
 
 let evaluate ?(scale = 1.0) ?(split = `Equal) topo sc c ~loads =
   let weighted = split = `Capacity_weighted in
@@ -239,3 +256,255 @@ let evaluate ?(scale = 1.0) ?(split = `Equal) topo sc c ~loads =
   done;
   Ivec.clear sc.touched;
   { delivered = !delivered; stuck = !stuck }
+
+(* ------------------------------------------------------------------ *)
+(* Incremental evaluation.
+
+   The flow a class places on the network is a pure function of the
+   usability of its static stage candidates: stage k splits the entering
+   volumes over its usable candidates that lead to a useful next-stage
+   switch, and usefulness itself is derived from candidate usability
+   alone.  So when topology toggles are confined to stages >= r — and the
+   useful sets consulted by stages < r are unchanged — the first r stages
+   would recompute the exact same floats.  [evaluate_patch] exploits
+   this: it keeps, per stage, the entering volumes, the per-circuit
+   shares and the stuck volume of the last evaluation, re-runs only the
+   suffix, and patches the aggregate [loads] by subtracting the stale
+   suffix shares and adding the fresh ones. *)
+
+(* Growable (circuit/switch id, value) store. *)
+module Fvec = struct
+  type t = { mutable js : int array; mutable vs : float array; mutable len : int }
+
+  let create () = { js = Array.make 16 0; vs = Array.make 16 0.0; len = 0 }
+  let clear f = f.len <- 0
+
+  let push f j v =
+    if f.len = Array.length f.js then begin
+      let js = Array.make (2 * f.len) 0 and vs = Array.make (2 * f.len) 0.0 in
+      Array.blit f.js 0 js 0 f.len;
+      Array.blit f.vs 0 vs 0 f.len;
+      f.js <- js;
+      f.vs <- vs
+    end;
+    f.js.(f.len) <- j;
+    f.vs.(f.len) <- v;
+    f.len <- f.len + 1
+end
+
+type srec = {
+  entry : Fvec.t;  (* (switch, volume) entering this stage *)
+  contrib : Fvec.t;  (* (circuit, share) placed by this stage *)
+  mutable srec_stuck : float;
+}
+
+type inc = {
+  ic : compiled;
+  recs : srec array;  (* one per stage *)
+  usnap : Bitset.t array;  (* useful sets of the last evaluation *)
+  mutable class_stuck : float;
+  mutable valid : bool;
+}
+
+let make_inc topo c =
+  let n = Topo.n_switches topo in
+  {
+    ic = c;
+    recs =
+      Array.init (Array.length c.stages) (fun _ ->
+          { entry = Fvec.create (); contrib = Fvec.create (); srec_stuck = 0.0 });
+    usnap = Array.init (Array.length c.stages + 1) (fun _ -> Bitset.create n);
+    class_stuck = 0.0;
+    valid = false;
+  }
+
+let class_stuck st = st.class_stuck
+
+(* Forward pass over stages [from_ .. n-1].  Entering volumes are already
+   in [sc.vol]/[sc.touched]; useful sets are read from [st.usnap].  The
+   arithmetic mirrors [evaluate] exactly — the recording is the only
+   addition — so a rebuild computes the same loads as the plain path. *)
+let forward_record ~weighted ~from_ topo sc st ~loads ~mark =
+  let c = st.ic in
+  let n_stages = Array.length c.stages in
+  let suffix_stuck = ref 0.0 in
+  for k = from_ to n_stages - 1 do
+    let sr = st.recs.(k) in
+    Fvec.clear sr.entry;
+    for i = 0 to sc.touched.Ivec.len - 1 do
+      let s = sc.touched.Ivec.data.(i) in
+      Fvec.push sr.entry s sc.vol.(s)
+    done;
+    Fvec.clear sr.contrib;
+    let stage_stuck = ref 0.0 in
+    let stage = c.stages.(k) in
+    let u' = st.usnap.(k + 1) in
+    let m = Array.length stage.circuits in
+    Ivec.clear sc.ntouched;
+    Array.iter
+      (fun s -> if sc.vol.(s) > 0.0 && Bitset.mem u' s then sc.cand.(s) <- -1)
+      stage.skip_switches;
+    for i = 0 to m - 1 do
+      let prev = stage.prevs.(i) in
+      if
+        sc.vol.(prev) > 0.0
+        && sc.cand.(prev) >= 0
+        && Topo.usable topo stage.circuits.(i)
+        && Bitset.mem u' stage.nexts.(i)
+      then begin
+        sc.cand.(prev) <- sc.cand.(prev) + 1;
+        if weighted then
+          sc.candw.(prev) <-
+            sc.candw.(prev)
+            +. (Topo.circuit topo stage.circuits.(i)).Circuit.capacity
+      end
+    done;
+    for i = 0 to m - 1 do
+      let prev = stage.prevs.(i) in
+      let v = sc.vol.(prev) in
+      if
+        v > 0.0
+        && sc.cand.(prev) > 0
+        && Topo.usable topo stage.circuits.(i)
+        && Bitset.mem u' stage.nexts.(i)
+      then begin
+        let next = stage.nexts.(i) in
+        let j = stage.circuits.(i) in
+        let share =
+          if weighted then
+            v *. (Topo.circuit topo j).Circuit.capacity /. sc.candw.(prev)
+          else v /. float_of_int sc.cand.(prev)
+        in
+        loads.(j) <- loads.(j) +. share;
+        mark j;
+        Fvec.push sr.contrib j share;
+        if sc.nvol.(next) = 0.0 then Ivec.push sc.ntouched next;
+        sc.nvol.(next) <- sc.nvol.(next) +. share
+      end
+    done;
+    Array.iter
+      (fun s ->
+        if sc.cand.(s) = -1 && sc.vol.(s) > 0.0 then begin
+          if sc.nvol.(s) = 0.0 then Ivec.push sc.ntouched s;
+          sc.nvol.(s) <- sc.nvol.(s) +. sc.vol.(s)
+        end)
+      stage.skip_switches;
+    for i = 0 to sc.touched.Ivec.len - 1 do
+      let s = sc.touched.Ivec.data.(i) in
+      if sc.vol.(s) > 0.0 && sc.cand.(s) = 0 then
+        stage_stuck := !stage_stuck +. sc.vol.(s);
+      sc.vol.(s) <- 0.0;
+      sc.cand.(s) <- 0;
+      sc.candw.(s) <- 0.0
+    done;
+    sr.srec_stuck <- !stage_stuck;
+    suffix_stuck := !suffix_stuck +. !stage_stuck;
+    Ivec.clear sc.touched;
+    for i = 0 to sc.ntouched.Ivec.len - 1 do
+      let s = sc.ntouched.Ivec.data.(i) in
+      sc.vol.(s) <- sc.nvol.(s);
+      sc.nvol.(s) <- 0.0;
+      Ivec.push sc.touched s
+    done
+  done;
+  for i = 0 to sc.touched.Ivec.len - 1 do
+    sc.vol.(sc.touched.Ivec.data.(i)) <- 0.0
+  done;
+  Ivec.clear sc.touched;
+  !suffix_stuck
+
+let load_sources sc c ~scale =
+  Ivec.clear sc.touched;
+  Array.iter
+    (fun (s, v) ->
+      if sc.vol.(s) = 0.0 then Ivec.push sc.touched s;
+      sc.vol.(s) <- sc.vol.(s) +. (v *. scale))
+    c.sources
+
+let evaluate_rebuild ?(scale = 1.0) ?(split = `Equal) topo sc st ~loads =
+  let weighted = split = `Capacity_weighted in
+  useful_sweep topo st.ic st.usnap;
+  load_sources sc st.ic ~scale;
+  let stuck =
+    forward_record ~weighted ~from_:0 topo sc st ~loads ~mark:ignore
+  in
+  st.class_stuck <- stuck;
+  st.valid <- true;
+  stuck
+
+let evaluate_patch ?(scale = 1.0) ?(split = `Equal) topo sc st ~dirty ~loads
+    ~mark =
+  if not st.valid then
+    invalid_arg "Ecmp.evaluate_patch: no previous evaluation to patch";
+  let weighted = split = `Capacity_weighted in
+  let c = st.ic in
+  let n_stages = Array.length c.stages in
+  ensure_useful sc topo (n_stages + 1);
+  let r_dirty =
+    let rec lowest k =
+      if k >= n_stages || dirty land (1 lsl k) <> 0 then k else lowest (k + 1)
+    in
+    lowest 0
+  in
+  (* Backward usefulness sweep with early cutoff: below the lowest dirty
+     stage the per-stage transfer function is unchanged since the
+     snapshot, so once a freshly computed set equals its snapshot every
+     earlier set is provably unchanged too and keeps its snapshot. *)
+  Bitset.fill sc.useful.(n_stages);
+  let unchanged_below = ref 0 in
+  (let k = ref (n_stages - 1) in
+   let stop = ref false in
+   while (not !stop) && !k >= 0 do
+     let stage = c.stages.(!k) in
+     let u = sc.useful.(!k) and u' = sc.useful.(!k + 1) in
+     Bitset.clear u;
+     for i = 0 to Array.length stage.circuits - 1 do
+       if Topo.usable topo stage.circuits.(i) && Bitset.mem u' stage.nexts.(i)
+       then Bitset.add u stage.prevs.(i)
+     done;
+     Array.iter
+       (fun s -> if Bitset.mem u' s then Bitset.add u s)
+       stage.skip_switches;
+     if !k <= r_dirty && Bitset.equal u st.usnap.(!k) then begin
+       unchanged_below := !k;
+       stop := true
+     end
+     else decr k
+   done);
+  (* Forward stage k consults useful.(k+1): the prefix [0 .. r-1] can only
+     be reused when useful.(1 .. r) is unchanged. *)
+  let minchg = ref (n_stages + 1) in
+  for i = n_stages downto max 1 !unchanged_below do
+    if not (Bitset.equal sc.useful.(i) st.usnap.(i)) then minchg := i
+  done;
+  for i = !unchanged_below to n_stages do
+    let u = sc.useful.(i) in
+    sc.useful.(i) <- st.usnap.(i);
+    st.usnap.(i) <- u
+  done;
+  let r = max 0 (min r_dirty (!minchg - 1)) in
+  for k = r to n_stages - 1 do
+    let ctr = st.recs.(k).contrib in
+    for i = 0 to ctr.Fvec.len - 1 do
+      let j = ctr.Fvec.js.(i) in
+      loads.(j) <- loads.(j) -. ctr.Fvec.vs.(i);
+      mark j
+    done
+  done;
+  let prefix_stuck = ref 0.0 in
+  for k = 0 to r - 1 do
+    prefix_stuck := !prefix_stuck +. st.recs.(k).srec_stuck
+  done;
+  if r = 0 then load_sources sc c ~scale
+  else begin
+    Ivec.clear sc.touched;
+    let e = st.recs.(r).entry in
+    for i = 0 to e.Fvec.len - 1 do
+      let s = e.Fvec.js.(i) in
+      sc.vol.(s) <- e.Fvec.vs.(i);
+      Ivec.push sc.touched s
+    done
+  end;
+  let suffix_stuck = forward_record ~weighted ~from_:r topo sc st ~loads ~mark in
+  st.class_stuck <- !prefix_stuck +. suffix_stuck;
+  st.class_stuck

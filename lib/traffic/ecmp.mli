@@ -43,6 +43,22 @@ val source_volume : compiled -> float
 val stage_circuit_count : compiled -> int
 (** Total candidate circuits across stages (a size diagnostic). *)
 
+val n_stages : compiled -> int
+(** Number of compiled stages (hops). *)
+
+val stage_sizes : compiled -> int array
+(** Candidate circuits per stage (for incremental-cost estimates). *)
+
+val iter_candidates :
+  compiled ->
+  f:(stage:int -> circuit:int -> prev:int -> next:int -> unit) ->
+  unit
+(** Enumerate the static stage candidates with their traversal endpoints.
+    The evaluation result depends only on the {e usability} of these
+    circuits, which is what makes a block→demand dependency index sound:
+    a topology toggle that touches none of a class's candidates (nor
+    their endpoints) cannot change the class's flow. *)
+
 type scratch
 (** Reusable working memory for evaluations (per-switch volumes,
     usefulness marks).  One scratch may be shared by successive
@@ -80,3 +96,57 @@ val evaluate :
 
     Deterministic; [delivered +. stuck] equals [scale *. source_volume c]
     up to rounding. *)
+
+(** {1 Incremental evaluation}
+
+    The flow of a class is a pure function of the usability of its static
+    stage candidates; between adjacent topology states only a few stages'
+    candidates change usability.  An {!inc} records, per stage, the
+    entering volumes, per-circuit shares and stuck volume of the last
+    evaluation, so the next one can re-run only the affected suffix of
+    the stage pipeline and patch the aggregate loads. *)
+
+type inc
+(** Persistent incremental state for one compiled class.  Owned by one
+    checker: never share an [inc] across concurrent evaluators. *)
+
+val make_inc : Topo.t -> compiled -> inc
+
+val class_stuck : inc -> float
+(** Stuck volume of the last {!evaluate_rebuild}/{!evaluate_patch}. *)
+
+val evaluate_rebuild :
+  ?scale:float ->
+  ?split:[ `Equal | `Capacity_weighted ] ->
+  Topo.t ->
+  scratch ->
+  inc ->
+  loads:float array ->
+  float
+(** Full evaluation that (re)captures the incremental state and adds the
+    class's shares into [loads] (which the caller has zeroed or otherwise
+    cleared of this class's contributions).  Same arithmetic as
+    {!evaluate}; returns the stuck volume. *)
+
+val evaluate_patch :
+  ?scale:float ->
+  ?split:[ `Equal | `Capacity_weighted ] ->
+  Topo.t ->
+  scratch ->
+  inc ->
+  dirty:int ->
+  loads:float array ->
+  mark:(int -> unit) ->
+  float
+(** Delta evaluation against the state captured by the last rebuild or
+    patch.  [dirty] is a stage bitmask covering {e every} stage whose
+    candidate circuits may have changed usability since then (bit [k] =
+    stage [k]); [scale]/[split] must match the previous evaluation.
+
+    The useful sets are re-derived from scratch and compared with the
+    snapshot: stages before the first dirty stage whose consulted useful
+    sets are unchanged are provably identical and reused verbatim, the
+    rest are re-run from the recorded entering volumes.  [loads] is
+    patched in place — stale suffix shares subtracted, fresh ones added —
+    and [mark] is called on every circuit whose load was touched (for the
+    caller's utilization recheck).  Returns the class's stuck volume. *)

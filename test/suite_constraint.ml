@@ -131,6 +131,68 @@ let test_raw_apply_unapply () =
   Alcotest.(check bool) "apply/unapply is identity" before
     (Constraint.current_ok ck)
 
+let test_related_circuits () =
+  (* The funneling neighborhood of every block: sorted, deduplicated,
+     incident to a neighbor of the block, and never incident to the block
+     itself (those circuits are down with it). *)
+  let task = task_a () in
+  let topo = task.Task.topo in
+  let ck = Constraint.create task in
+  Array.iteri
+    (fun bid (b : Blocks.t) ->
+      let circuits = Constraint.related_circuits ck bid in
+      Alcotest.(check bool)
+        (Printf.sprintf "block %d: cached array is stable" bid)
+        true
+        (circuits == Constraint.related_circuits ck bid);
+      for i = 1 to Array.length circuits - 1 do
+        if circuits.(i - 1) >= circuits.(i) then
+          Alcotest.fail
+            (Printf.sprintf "block %d: not strictly sorted at %d" bid i)
+      done;
+      let in_block = Hashtbl.create 16 in
+      Array.iter (fun s -> Hashtbl.replace in_block s ()) b.Blocks.switches;
+      let neighbor = Hashtbl.create 64 in
+      let note s j =
+        let o = Circuit.other_end (Topo.circuit topo j) s in
+        if not (Hashtbl.mem in_block o) then Hashtbl.replace neighbor o ()
+      in
+      Array.iter
+        (fun s ->
+          Array.iter (note s) (Topo.up_circuits topo s);
+          Array.iter (note s) (Topo.down_circuits topo s))
+        b.Blocks.switches;
+      Array.iter
+        (fun j ->
+          let c = Topo.circuit topo j in
+          Hashtbl.replace neighbor c.Circuit.lo ();
+          Hashtbl.replace neighbor c.Circuit.hi ())
+        b.Blocks.circuits;
+      Array.iter
+        (fun j ->
+          let c = Topo.circuit topo j in
+          if Hashtbl.mem in_block c.Circuit.lo || Hashtbl.mem in_block c.Circuit.hi
+          then
+            Alcotest.fail
+              (Printf.sprintf "block %d: circuit %d touches the block" bid j);
+          if
+            not
+              (Hashtbl.mem neighbor c.Circuit.lo
+              || Hashtbl.mem neighbor c.Circuit.hi)
+          then
+            Alcotest.fail
+              (Printf.sprintf "block %d: circuit %d not in the neighborhood"
+                 bid j))
+        circuits;
+      (* The block's own circuits never appear. *)
+      Array.iter
+        (fun j ->
+          if Array.exists (( = ) j) circuits then
+            Alcotest.fail
+              (Printf.sprintf "block %d: own circuit %d listed" bid j))
+        b.Blocks.circuits)
+    task.Task.blocks
+
 let test_min_residual () =
   let task = task_a () in
   let ck = Constraint.create task in
@@ -208,6 +270,8 @@ let suite =
         test_check_plan_errors;
       Alcotest.test_case "check_plan cost agrees" `Quick test_check_plan_cost;
       Alcotest.test_case "raw apply/unapply" `Quick test_raw_apply_unapply;
+      Alcotest.test_case "related_circuits neighborhoods" `Quick
+        test_related_circuits;
       Alcotest.test_case "min residual" `Quick test_min_residual;
       Alcotest.test_case "cache hit/miss accounting" `Quick test_cache_behaviour;
       Alcotest.test_case "cache disabled (w/o ESC)" `Quick test_cache_disabled;

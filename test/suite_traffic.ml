@@ -130,6 +130,56 @@ let test_ecmp_scale_linearity () =
     (fun j -> Alcotest.check feq "linear in scale" (2.5 *. loads1.(j)) loads2.(j))
     fs
 
+let test_ecmp_weighted_split () =
+  (* Two uplinks of unequal capacity: `Capacity_weighted splits the volume
+     proportionally to capacity, `Equal ignores it. *)
+  let b = Builder.create () in
+  let r = Builder.add_switch b ~name:"r" ~role:Switch.RSW ~max_ports:8 () in
+  let f0 = Builder.add_switch b ~name:"f0" ~role:Switch.FSW ~max_ports:8 () in
+  let f1 = Builder.add_switch b ~name:"f1" ~role:Switch.FSW ~max_ports:8 () in
+  let s = Builder.add_switch b ~name:"s" ~role:Switch.SSW ~max_ports:8 () in
+  let r_f0 = Builder.add_circuit b ~lo:r ~hi:f0 ~capacity:1.0 () in
+  let r_f1 = Builder.add_circuit b ~lo:r ~hi:f1 ~capacity:3.0 () in
+  let f0_s = Builder.add_circuit b ~lo:f0 ~hi:s ~capacity:4.0 () in
+  let f1_s = Builder.add_circuit b ~lo:f1 ~hi:s ~capacity:4.0 () in
+  let topo = Builder.freeze b in
+  let c = two_hop_compiled topo [ (r, 4.0) ] in
+  let scratch = Ecmp.make_scratch topo in
+  let loads = Array.make (Topo.n_circuits topo) 0.0 in
+  let result = Ecmp.evaluate ~split:`Capacity_weighted topo scratch c ~loads in
+  Alcotest.check feq "all delivered" 4.0 result.Ecmp.delivered;
+  Alcotest.check feq "nothing stuck" 0.0 result.Ecmp.stuck;
+  (* Proportional shares: 1/(1+3) and 3/(1+3) of the 4.0. *)
+  Alcotest.check feq "quarter on the thin circuit" 1.0 loads.(r_f0);
+  Alcotest.check feq "three quarters on the fat circuit" 3.0 loads.(r_f1);
+  (* The second hop has one candidate per FSW: weighting changes nothing,
+     each forwards exactly what it received. *)
+  Alcotest.check feq "f0 forwards its share" 1.0 loads.(f0_s);
+  Alcotest.check feq "f1 forwards its share" 3.0 loads.(f1_s);
+  (* Same fixture under `Equal for contrast: capacity is ignored. *)
+  Array.fill loads 0 (Array.length loads) 0.0;
+  ignore (Ecmp.evaluate ~split:`Equal topo scratch c ~loads);
+  Alcotest.check feq "equal split ignores capacity" 2.0 loads.(r_f0)
+
+let test_ecmp_weighted_skip_carries () =
+  (* A skip switch carries its volume past the hop unweighted: the
+     capacity-weighted policy must not redistribute it. *)
+  let b = Builder.create () in
+  let f = Builder.add_switch b ~name:"f" ~role:Switch.FSW ~max_ports:4 () in
+  let s = Builder.add_switch b ~name:"s" ~role:Switch.SSW ~max_ports:4 () in
+  ignore (Builder.add_circuit b ~lo:f ~hi:s ~capacity:5.0 ());
+  let topo = Builder.freeze b in
+  let c =
+    Ecmp.compile topo
+      ~sources:[ (f, 1.0); (s, 2.0) ]
+      ~hops:[ Ecmp.hop `Up ~skip:(role_is Switch.SSW) (role_is Switch.SSW) ]
+  in
+  let scratch = Ecmp.make_scratch topo in
+  let loads = Array.make (Topo.n_circuits topo) 0.0 in
+  let result = Ecmp.evaluate ~split:`Capacity_weighted topo scratch c ~loads in
+  Alcotest.check feq "both delivered" 3.0 result.Ecmp.delivered;
+  Alcotest.check feq "only f's share on the wire" 1.0 loads.(0)
+
 let test_ecmp_skip_carries () =
   (* A source already at the destination layer carries through the skip. *)
   let b = Builder.create () in
@@ -316,6 +366,10 @@ let suite =
       Alcotest.test_case "ECMP detects cuts" `Quick test_ecmp_stuck_when_cut;
       Alcotest.test_case "ECMP scale linearity" `Quick test_ecmp_scale_linearity;
       Alcotest.test_case "ECMP skip carries volume" `Quick test_ecmp_skip_carries;
+      Alcotest.test_case "ECMP capacity-weighted split" `Quick
+        test_ecmp_weighted_split;
+      Alcotest.test_case "ECMP weighted skip carries" `Quick
+        test_ecmp_weighted_skip_carries;
       QCheck_alcotest.to_alcotest prop_conservation;
       Alcotest.test_case "route structures" `Quick test_routes_structure;
       Alcotest.test_case "source spreading" `Quick test_routes_sources_spread;

@@ -20,6 +20,7 @@ let () =
       Suite_domain_pool.suite;
       Suite_planners.suite;
       Suite_parallel.suite;
+      Suite_incremental.suite;
       Suite_plan.suite;
       Suite_npd.suite;
       Suite_extensions.suite;
