@@ -77,5 +77,5 @@ let run () =
         | Some [] | None -> "n/a"
       in
       Kutil.Table_fmt.add_row table [ name; time ])
-    (List.sort compare rows);
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows);
   Kutil.Table_fmt.print table

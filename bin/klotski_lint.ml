@@ -1,0 +1,22 @@
+(* klotski-lint: domain-safety & determinism static analyzer.
+
+     klotski-lint [DIR-OR-FILE ...]     (default: lib bin bench)
+
+   Prints one [file:line:col [rule] message] line per finding and exits
+   non-zero when any remain unsuppressed.  Rule catalog and suppression
+   syntax: DESIGN.md §"klotski-lint". *)
+
+let () =
+  let roots =
+    match List.tl (Array.to_list Sys.argv) with
+    | [] -> [ "lib"; "bin"; "bench" ]
+    | roots -> roots
+  in
+  let findings = Lint.run ~roots () in
+  List.iter (fun f -> print_endline (Lint_finding.to_string f)) findings;
+  match findings with
+  | [] ->
+      Printf.printf "klotski-lint: clean (%s)\n" (String.concat " " roots)
+  | _ :: _ ->
+      Printf.eprintf "klotski-lint: %d finding(s)\n" (List.length findings);
+      exit 1

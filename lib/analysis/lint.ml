@@ -1,0 +1,112 @@
+(* Driver: walk source roots, parse every [.ml] with compiler-libs,
+   run the rule catalog, apply suppressions, and return the findings in
+   a stable order.  Printing is left to the caller ([bin/klotski_lint]):
+   nothing in [lib/] writes to the console (R5 applies to this library
+   too — the analyzer passes its own rules). *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse ~file text =
+  let lexbuf = Lexing.from_string text in
+  lexbuf.Lexing.lex_curr_p <-
+    { Lexing.pos_fname = file; pos_lnum = 1; pos_bol = 0; pos_cnum = 0 };
+  Parse.implementation lexbuf
+
+let default_r2_root = "Sat_engine"
+
+let has_suffix suf path = Filename.check_suffix path suf
+
+(* lib/util/{prng,timer}.ml own the clocks and PRNG state (R4). *)
+let r4_allowlist = [ "util/prng.ml"; "util/timer.ml" ]
+
+(* Klog and Table_fmt are the sanctioned output paths (R5). *)
+let r5_allowlist = [ "util/klog.ml"; "util/table_fmt.ml" ]
+
+let under_lib path =
+  List.exists (String.equal "lib") (String.split_on_char '/' path)
+
+let lint_parsed ~file ~r2 ~lib text structure =
+  let r4_allowed = List.exists (fun s -> has_suffix s file) r4_allowlist in
+  let r5_active =
+    lib && not (List.exists (fun s -> has_suffix s file) r5_allowlist)
+  in
+  let sup = Lint_suppress.scan ~file text in
+  let findings = Lint_rules.check ~file ~r2 ~r4_allowed ~r5_active structure in
+  let kept =
+    List.filter (fun f -> not (Lint_suppress.suppressed sup f)) findings
+  in
+  List.sort Lint_finding.order (Lint_suppress.problems sup @ kept)
+
+let parse_error_finding ~file exn =
+  let line, col, detail =
+    match exn with
+    | Syntaxerr.Error err ->
+        let loc = Syntaxerr.location_of_error err in
+        let p = loc.Location.loc_start in
+        ( p.Lexing.pos_lnum,
+          p.Lexing.pos_cnum - p.Lexing.pos_bol,
+          "syntax error" )
+    | e -> (1, 0, Printexc.to_string e)
+  in
+  Lint_finding.v ~file ~line ~col ~rule:"lint"
+    (Printf.sprintf "failed to parse: %s" detail)
+
+let lint_file ?(r2 = true) ?(lib = true) file =
+  let text = read_file file in
+  match parse ~file text with
+  | structure -> lint_parsed ~file ~r2 ~lib text structure
+  | exception exn -> [ parse_error_finding ~file exn ]
+
+(* Deterministic recursive [.ml] collection ([_build] and dotdirs
+   excluded), so the report order never depends on readdir order. *)
+let rec collect acc path =
+  if Sys.file_exists path && Sys.is_directory path then
+    Array.to_list (Sys.readdir path)
+    |> List.sort String.compare
+    |> List.fold_left
+         (fun acc name ->
+           if String.equal name "_build" || (String.length name > 0 && Char.equal name.[0] '.')
+           then acc
+           else collect acc (Filename.concat path name))
+         acc
+  else if has_suffix ".ml" path then path :: acc
+  else acc
+
+let run ?(r2_root = default_r2_root) ~roots () =
+  let files =
+    List.fold_left collect [] roots |> List.sort_uniq String.compare
+  in
+  let parsed =
+    List.map
+      (fun file ->
+        let text = read_file file in
+        match parse ~file text with
+        | structure -> (file, text, Ok structure)
+        | exception exn -> (file, text, Error exn))
+      files
+  in
+  let ok_asts =
+    List.filter_map
+      (fun (file, _, r) ->
+        match r with Ok ast -> Some (file, ast) | Error _ -> None)
+      parsed
+  in
+  let reach = Lint_reach.reachable ~root_module:r2_root ok_asts in
+  let in_scope file =
+    match reach with
+    | None -> true
+    | Some set -> List.exists (String.equal file) set
+  in
+  List.concat_map
+    (fun (file, text, r) ->
+      match r with
+      | Error exn -> [ parse_error_finding ~file exn ]
+      | Ok structure ->
+          lint_parsed ~file ~r2:(in_scope file) ~lib:(under_lib file) text
+            structure)
+    parsed
+  |> List.sort Lint_finding.order

@@ -1,0 +1,126 @@
+(* Module-reference extraction and worker-reachability.
+
+   R2 (no module-level mutable state) only applies to code that
+   [Sat_engine] worker domains can execute.  We approximate that set
+   syntactically: every file contributes the module names it references
+   (heads of dotted paths, opens, module aliases), names resolve to the
+   scanned file defining the module of that name (for the wrapped
+   [Kutil] library the member after the wrapper also resolves:
+   [Kutil.Bitset] -> bitset.ml), and a BFS from the file defining the
+   root module closes the set.  The approximation is conservative in
+   the safe direction — an unresolved or extra reference only widens
+   the scope. *)
+
+open Parsetree
+
+let rec comps = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (p, s) -> comps p @ [ s ]
+  | Longident.Lapply (a, b) -> comps a @ comps b
+
+let is_module_name s = String.length s > 0 && Char.uppercase_ascii s.[0] = s.[0]
+
+(* Record the head module of a path and, for wrapped-library access,
+   the member after it. *)
+let note_path acc path =
+  match List.filter is_module_name path with
+  | [] -> ()
+  | m :: rest -> (
+      Hashtbl.replace acc m ();
+      match rest with m2 :: _ -> Hashtbl.replace acc (m ^ "." ^ m2) () | [] -> ())
+
+(* A value path's last component is the value itself; a module path is
+   all module names. *)
+let note_value_lid acc lid = note_path acc (comps lid)
+
+let references structure =
+  let acc = Hashtbl.create 64 in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt; _ }
+          | Pexp_construct ({ txt; _ }, _)
+          | Pexp_field (_, { txt; _ })
+          | Pexp_setfield (_, { txt; _ }, _)
+          | Pexp_new { txt; _ } ->
+              note_value_lid acc txt
+          | Pexp_record (fields, _) ->
+              List.iter (fun ({ Location.txt; _ }, _) -> note_value_lid acc txt) fields
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+      typ =
+        (fun it t ->
+          (match t.ptyp_desc with
+          | Ptyp_constr ({ txt; _ }, _) | Ptyp_class ({ txt; _ }, _) ->
+              note_value_lid acc txt
+          | _ -> ());
+          Ast_iterator.default_iterator.typ it t);
+      pat =
+        (fun it p ->
+          (match p.ppat_desc with
+          | Ppat_construct ({ txt; _ }, _) | Ppat_type { txt; _ } ->
+              note_value_lid acc txt
+          | Ppat_record (fields, _) ->
+              List.iter (fun ({ Location.txt; _ }, _) -> note_value_lid acc txt) fields
+          | _ -> ());
+          Ast_iterator.default_iterator.pat it p);
+      module_expr =
+        (fun it me ->
+          (match me.pmod_desc with
+          | Pmod_ident { txt; _ } -> note_path acc (comps txt)
+          | _ -> ());
+          Ast_iterator.default_iterator.module_expr it me);
+    }
+  in
+  it.structure it structure;
+  Hashtbl.fold (fun k () l -> k :: l) acc [] |> List.sort String.compare
+
+let module_name_of_file path =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename path))
+
+(* [reachable ~root_module files] is the set of file paths reachable
+   from the file defining [root_module], or [None] when no scanned file
+   defines it (callers then fall back to enforcing R2 everywhere). *)
+let reachable ~root_module (files : (string * structure) list) =
+  let by_module = Hashtbl.create 64 in
+  List.iter
+    (fun (path, _) -> Hashtbl.replace by_module (module_name_of_file path) path)
+    files;
+  match Hashtbl.find_opt by_module root_module with
+  | None -> None
+  | Some root_file ->
+      let refs_of = Hashtbl.create 64 in
+      List.iter
+        (fun (path, ast) -> Hashtbl.replace refs_of path (references ast))
+        files;
+      let seen = Hashtbl.create 64 in
+      let rec visit path =
+        if not (Hashtbl.mem seen path) then begin
+          Hashtbl.replace seen path ();
+          let refs =
+            match Hashtbl.find_opt refs_of path with Some r -> r | None -> []
+          in
+          List.iter
+            (fun name ->
+              (* "Kutil.Bitset" resolves through its member; plain
+                 names resolve directly. *)
+              let candidates =
+                match String.index_opt name '.' with
+                | Some i ->
+                    [ String.sub name (i + 1) (String.length name - i - 1) ]
+                | None -> [ name ]
+              in
+              List.iter
+                (fun m ->
+                  match Hashtbl.find_opt by_module m with
+                  | Some f -> visit f
+                  | None -> ())
+                candidates)
+            refs
+        end
+      in
+      visit root_file;
+      Some (Hashtbl.fold (fun k () l -> k :: l) seen [] |> List.sort String.compare)

@@ -1,0 +1,343 @@
+(* The klotski-lint rule catalog, over the untyped AST (compiler-libs
+   [Parse] + [Ast_iterator]; no ppx stage).  Each rule guards one of the
+   invariants the multicore satisfiability engine and the incremental
+   checker rely on:
+
+   R1  no polymorphic [compare] / [Hashtbl.hash] / equality on
+       structured literals — polymorphic comparison on float-carrying
+       types already caused real divergence fixes (PR 1).
+   R2  no module-level mutable state in modules reachable from
+       [Sat_engine] workers, unless annotated
+       [[@@klotski.domain_safe "reason"]] — unsynchronized toplevel
+       state is shared by every worker domain.
+   R3  no float equality via polymorphic [=]/[<>] against float
+       literals, and no [Hashtbl.fold]/[Hashtbl.iter] bodies doing
+       float arithmetic — hash-order float accumulation breaks the
+       incremental-vs-full bit-identity contract (PR 2).
+   R4  no nondeterminism sources ([Random.*], [Sys.time],
+       [Unix.gettimeofday], [Domain.self]) outside
+       [lib/util/{prng,timer}.ml].
+   R5  no direct printing in [lib/] outside [Klog]/[Table_fmt]. *)
+
+open Parsetree
+
+type ctx = {
+  file : string;
+  r2 : bool;  (* file is Sat_engine-worker-reachable: enforce R2 *)
+  r4_allowed : bool;  (* prng/timer: may touch clocks and PRNG state *)
+  r5_active : bool;  (* in lib/ and not Klog/Table_fmt *)
+  mutable findings : Lint_finding.t list;
+  (* Positions of identifier occurrences exempted by their context: the
+     function slot of an equality application (reported contextually),
+     and record/labelled-argument puns such as [{ compare }] or
+     [create ~compare], which reference a local binding by that name
+     rather than [Stdlib.compare]. *)
+  exempt : (int, unit) Hashtbl.t;
+}
+
+let report ctx ~loc ~rule msg =
+  ctx.findings <- Lint_finding.make ~file:ctx.file ~loc ~rule msg :: ctx.findings
+
+let pos_key (loc : Location.t) = loc.loc_start.Lexing.pos_cnum
+
+let exempt ctx (loc : Location.t) = Hashtbl.replace ctx.exempt (pos_key loc) ()
+let is_exempt ctx loc = Hashtbl.mem ctx.exempt (pos_key loc)
+
+(* Flatten a longident into its components; [Lapply] (rare functor
+   application paths) contributes both sides, which is conservative. *)
+let rec comps = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (p, s) -> comps p @ [ s ]
+  | Longident.Lapply (a, b) -> comps a @ comps b
+
+let strip_stdlib = function "Stdlib" :: rest -> rest | l -> l
+
+let rec skip_wrappers e =
+  match e.pexp_desc with
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) -> skip_wrappers e
+  | _ -> e
+
+let is_float_literal e =
+  match (skip_wrappers e).pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | _ -> false
+
+(* Structured (boxed, recursively compared) literal shapes: equality on
+   these runs the polymorphic comparator over the whole spine. *)
+let is_structured_literal e =
+  match (skip_wrappers e).pexp_desc with
+  | Pexp_tuple _ | Pexp_record _ | Pexp_array _ -> true
+  | Pexp_construct (_, Some _) -> true
+  | Pexp_variant (_, Some _) -> true
+  | _ -> false
+
+(* Does the expression tree contain float arithmetic or float literals?
+   Used to decide whether a [Hashtbl.fold]/[iter] body accumulates
+   floats in hash order. *)
+let float_ops = [ "+."; "-."; "*."; "/."; "~-." ]
+
+exception Found_float
+
+let has_float_arithmetic e =
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_constant (Pconst_float _) -> raise Found_float
+          | Pexp_ident { txt = Longident.Lident op; _ }
+            when List.exists (String.equal op) float_ops ->
+              raise Found_float
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  try
+    it.expr it e;
+    false
+  with Found_float -> true
+
+(* [Hashtbl.fold]/[Hashtbl.iter] and functorial tables ([X.Table.fold]):
+   their traversal order is a function of the hash layout. *)
+let is_hash_order_traversal path =
+  match List.rev path with
+  | ("fold" | "iter") :: ("Hashtbl" | "Table" | "Tbl") :: _ -> true
+  | _ -> false
+
+let nondet_source path =
+  match path with
+  | "Random" :: _ :: _ -> Some "Random"
+  | [ "Sys"; "time" ] -> Some "Sys.time"
+  | [ "Unix"; ("gettimeofday" | "time") ] -> Some ("Unix." ^ List.nth path 1)
+  | [ "Domain"; "self" ] -> Some "Domain.self"
+  | _ -> None
+
+let print_ident path =
+  match path with
+  | [
+   ( "print_endline" | "print_string" | "print_newline" | "print_char"
+   | "print_int" | "print_float" | "prerr_endline" | "prerr_string"
+   | "prerr_newline" );
+  ] ->
+      Some (List.hd path)
+  | [ "Printf"; (("printf" | "eprintf") as f) ] -> Some ("Printf." ^ f)
+  | [ "Format"; (("printf" | "eprintf" | "print_string" | "print_newline") as f)
+    ] ->
+      Some ("Format." ^ f)
+  | _ -> None
+
+let msg_r1_compare =
+  "polymorphic compare: use a dedicated comparator (Int.compare, \
+   Float.compare, String.compare, ...)"
+
+let msg_r1_hash = "polymorphic Hashtbl.hash: use a dedicated hash function"
+
+let msg_r1_structural_eq =
+  "polymorphic equality on a structured literal: write a dedicated equal \
+   function"
+
+let msg_r1_eq_as_value =
+  "polymorphic (=)/(<>) passed as a value: pass a dedicated equality instead"
+
+let msg_r3_float_eq = "float equality with =/<>: use Float.equal"
+
+let msg_r3_hash_order =
+  "Hashtbl fold/iter body does float arithmetic: hash order would feed the \
+   accumulation, breaking incremental-vs-full bit-identity; fold over sorted \
+   keys instead (Kutil.Tbl.sorted_fold)"
+
+let msg_r4 src =
+  Printf.sprintf
+    "nondeterminism source %s: only lib/util/{prng,timer}.ml may read clocks, \
+     PRNGs or domain identity"
+    src
+
+let msg_r5 f =
+  Printf.sprintf "direct printing (%s) in lib/: route output through Klog or \
+                  Table_fmt"
+    f
+
+(* ---------------------------------------------------------------- *)
+(* Expression-level rules (R1, R3, R4, R5). *)
+
+let check_apply ctx fn args =
+  (* Labelled-argument puns: [create ~compare] passes the local value
+     [compare], not the polymorphic one. *)
+  List.iter
+    (fun (lab, a) ->
+      match (lab, a.pexp_desc) with
+      | Asttypes.Labelled l, Pexp_ident { txt = Longident.Lident l'; _ }
+        when String.equal l l' ->
+          exempt ctx a.pexp_loc
+      | _ -> ())
+    args;
+  match fn.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+      let path = strip_stdlib (comps txt) in
+      match (path, args) with
+      | [ ("=" | "<>") ], [ (Asttypes.Nolabel, a); (Asttypes.Nolabel, b) ] ->
+          (* Reported contextually; don't re-flag the operator ident. *)
+          exempt ctx fn.pexp_loc;
+          if is_float_literal a || is_float_literal b then
+            report ctx ~loc:fn.pexp_loc ~rule:"R3" msg_r3_float_eq
+          else if is_structured_literal a || is_structured_literal b then
+            report ctx ~loc:fn.pexp_loc ~rule:"R1" msg_r1_structural_eq
+      | path, _ when is_hash_order_traversal path ->
+          if List.exists (fun (_, a) -> has_float_arithmetic a) args then
+            report ctx ~loc:fn.pexp_loc ~rule:"R3" msg_r3_hash_order
+      | _ -> ())
+  | _ -> ()
+
+let check_ident ctx loc txt =
+  if not (is_exempt ctx loc) then begin
+    let path = strip_stdlib (comps txt) in
+    (match path with
+    | [ "compare" ] | [ "Stdlib"; "compare" ] ->
+        report ctx ~loc ~rule:"R1" msg_r1_compare
+    | [ "Hashtbl"; ("hash" | "seeded_hash") ] ->
+        report ctx ~loc ~rule:"R1" msg_r1_hash
+    | [ ("=" | "<>") ] -> report ctx ~loc ~rule:"R1" msg_r1_eq_as_value
+    | _ -> ());
+    (match nondet_source path with
+    | Some src when not ctx.r4_allowed -> report ctx ~loc ~rule:"R4" (msg_r4 src)
+    | _ -> ());
+    if ctx.r5_active then
+      match print_ident path with
+      | Some f -> report ctx ~loc ~rule:"R5" (msg_r5 f)
+      | None -> ()
+  end
+
+let same_pos (a : Location.t) (b : Location.t) =
+  a.loc_start.Lexing.pos_cnum = b.loc_start.Lexing.pos_cnum
+
+let expr_rules ctx it e =
+  (match e.pexp_desc with
+  | Pexp_apply (fn, args) -> check_apply ctx fn args
+  | Pexp_record (fields, _) ->
+      (* Record puns ([{ compare; _ }]) share the field's location. *)
+      List.iter
+        (fun ((lid : _ Location.loc), fe) ->
+          match (lid.txt, fe.pexp_desc) with
+          | Longident.Lident n, Pexp_ident { txt = Longident.Lident n'; _ }
+            when String.equal n n' && same_pos lid.loc fe.pexp_loc ->
+              exempt ctx fe.pexp_loc
+          | _ -> ())
+        fields
+  | Pexp_ident { txt; _ } -> check_ident ctx e.pexp_loc txt
+  | _ -> ());
+  Ast_iterator.default_iterator.expr it e
+
+(* ---------------------------------------------------------------- *)
+(* R2: module-level mutable state. *)
+
+let mutable_ctor path =
+  match strip_stdlib path with
+  | [ "ref" ] -> Some "ref"
+  | [ "Hashtbl"; "create" ] -> Some "Hashtbl.create"
+  | [ "Buffer"; "create" ] -> Some "Buffer.create"
+  | [ "Bytes"; ("create" | "make" | "of_string") ] -> Some "Bytes"
+  | [ "Array"; ("make" | "init" | "create_float" | "make_matrix" | "copy") ] ->
+      Some "Array"
+  | [ "Queue"; "create" ] -> Some "Queue.create"
+  | [ "Stack"; "create" ] -> Some "Stack.create"
+  | _ -> None
+
+exception Found_mut of Location.t * string
+
+(* First mutable-state constructor evaluated at module-initialization
+   time.  Function and lazy bodies run later (usually per call or under
+   an explicit synchronization discipline), so the scan stops there. *)
+let find_mutable_init e =
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          match e.pexp_desc with
+          | Pexp_fun _ | Pexp_function _ | Pexp_lazy _ -> ()
+          | Pexp_array (_ :: _) -> raise (Found_mut (e.pexp_loc, "array literal"))
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+              match mutable_ctor (comps txt) with
+              | Some kind -> raise (Found_mut (e.pexp_loc, kind))
+              | None -> Ast_iterator.default_iterator.expr it e)
+          | _ -> Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  try
+    it.expr it e;
+    None
+  with Found_mut (loc, kind) -> Some (loc, kind)
+
+let domain_safe_name = "klotski.domain_safe"
+
+let attr_reason (a : attribute) =
+  match a.attr_payload with
+  | PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval
+              ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ]
+    when not (String.equal (String.trim s) "") ->
+      Some s
+  | _ -> None
+
+let r2_binding ctx vb =
+  let annotated =
+    List.exists
+      (fun (a : attribute) ->
+        if String.equal a.attr_name.txt domain_safe_name then begin
+          (match attr_reason a with
+          | Some _ -> ()
+          | None ->
+              report ctx ~loc:a.attr_loc ~rule:"lint"
+                "[@@klotski.domain_safe] requires a reason string");
+          attr_reason a <> None
+        end
+        else false)
+      vb.pvb_attributes
+  in
+  if not annotated then
+    match find_mutable_init vb.pvb_expr with
+    | Some (loc, kind) ->
+        report ctx ~loc ~rule:"R2"
+          (Printf.sprintf
+             "module-level mutable state (%s) in a Sat_engine-reachable \
+              module: workers share it unsynchronized; annotate \
+              [@@klotski.domain_safe \"reason\"] if the access discipline \
+              makes it safe"
+             kind)
+    | None -> ()
+
+let rec r2_structure ctx str = List.iter (r2_item ctx) str
+
+and r2_item ctx si =
+  match si.pstr_desc with
+  | Pstr_value (_, vbs) -> List.iter (r2_binding ctx) vbs
+  | Pstr_module mb -> r2_module_expr ctx mb.pmb_expr
+  | Pstr_recmodule mbs -> List.iter (fun mb -> r2_module_expr ctx mb.pmb_expr) mbs
+  | Pstr_include incl -> r2_module_expr ctx incl.pincl_mod
+  | _ -> ()
+
+and r2_module_expr ctx me =
+  match me.pmod_desc with
+  | Pmod_structure s -> r2_structure ctx s
+  | Pmod_constraint (me, _) | Pmod_apply (_, me) -> r2_module_expr ctx me
+  | _ -> ()
+
+(* ---------------------------------------------------------------- *)
+
+let check ~file ~r2 ~r4_allowed ~r5_active structure =
+  let ctx =
+    { file; r2; r4_allowed; r5_active; findings = []; exempt = Hashtbl.create 16 }
+  in
+  let it =
+    { Ast_iterator.default_iterator with expr = (fun it e -> expr_rules ctx it e) }
+  in
+  it.structure it structure;
+  if ctx.r2 then r2_structure ctx structure;
+  ctx.findings

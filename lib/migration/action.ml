@@ -21,8 +21,32 @@ let target_to_string = function
 let to_string a =
   Printf.sprintf "%s %s" (op_to_string a.op) (target_to_string a.target)
 
-let equal (a : t) (b : t) = a = b
-let compare (a : t) (b : t) = Stdlib.compare a b
+(* Hand-written structural comparison (R1): same total order as the
+   old [Stdlib.compare] (constructor declaration order, fields left to
+   right), but monomorphic — adding a float or functional field to a
+   target can no longer silently change plan ordering semantics. *)
+let op_rank = function Drain -> 0 | Undrain -> 1
+
+let compare_target a b =
+  match (a, b) with
+  | Switch_layer (ra, ga), Switch_layer (rb, gb) ->
+      let c = Int.compare (Switch.rank ra) (Switch.rank rb) in
+      if c <> 0 then c else Int.compare ga gb
+  | Switch_layer _, _ -> -1
+  | _, Switch_layer _ -> 1
+  | Hgrid_layer (ga, ma), Hgrid_layer (gb, mb) ->
+      let c = Int.compare ga gb in
+      if c <> 0 then c else Int.compare ma mb
+  | Hgrid_layer _, _ -> -1
+  | _, Hgrid_layer _ -> 1
+  | Circuit_group na, Circuit_group nb -> String.compare na nb
+
+let compare (a : t) (b : t) =
+  let c = Int.compare (op_rank a.op) (op_rank b.op) in
+  if c <> 0 then c else compare_target a.target b.target
+
+let equal (a : t) (b : t) =
+  op_rank a.op = op_rank b.op && compare_target a.target b.target = 0
 
 let pp fmt a = Format.pp_print_string fmt (to_string a)
 

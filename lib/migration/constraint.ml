@@ -399,7 +399,7 @@ let utilization_ok ck =
       let n = Array.length ck.loads in
       let rec loop j =
         j >= n
-        || ((ck.loads.(j) = 0.0
+        || ((Float.equal ck.loads.(j) 0.0
             || (not (Topo.usable ck.topo j))
             || ck.loads.(j) /. (Topo.circuit ck.topo j).Circuit.capacity <= theta)
            && loop (j + 1))

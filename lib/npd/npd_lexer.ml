@@ -96,7 +96,7 @@ let lex_string lx =
 
 let lex_number lx =
   let start = lx.pos in
-  if peek_char lx = Some '-' then advance lx;
+  (match peek_char lx with Some '-' -> advance lx | Some _ | None -> ());
   let is_float = ref false in
   let rec digits () =
     match peek_char lx with

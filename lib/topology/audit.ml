@@ -85,7 +85,12 @@ let check_stripes (sc : Gen.scenario) topo acc =
             end)
           (Topo.up_circuits topo s.Switch.id);
         let acc = ref acc in
-        Hashtbl.iter
+        (* Sorted traversal: finding order is part of the report and
+           must not depend on hash layout (R3 discipline). *)
+        Kutil.Tbl.sorted_iter
+          ~compare:(fun (ta, ga) (tb, gb) ->
+            let c = String.compare ta tb in
+            if c <> 0 then c else Int.compare ga gb)
           (fun (tag, g) n ->
             if n <> 1 then
               acc :=

@@ -4,6 +4,14 @@ type block = { members : int list; role : Switch.role; generation : int }
    sorted list of (neighbor id, capacity) over every incident circuit of
    the universe.  Switches with equal signatures connect to the same hosts
    with the same capacities, hence are interchangeable in any plan. *)
+(* Explicit comparators (R1): signatures and blocks carry ints and
+   floats, where polymorphic compare would walk boxed floats (and break
+   the moment a non-comparable field is added).  Orderings match the
+   old polymorphic ones bit for bit. *)
+let neighbor_compare (sa, ca) (sb, cb) =
+  let c = Int.compare sa sb in
+  if c <> 0 then c else Float.compare ca cb
+
 let signature topo s =
   let sw = Topo.switch topo s in
   let neighbors = ref [] in
@@ -13,7 +21,7 @@ let signature topo s =
   in
   Array.iter note (Topo.up_circuits topo s);
   Array.iter note (Topo.down_circuits topo s);
-  let sorted = List.sort compare !neighbors in
+  let sorted = List.sort neighbor_compare !neighbors in
   (sw.Switch.role, sw.Switch.generation, sorted)
 
 let blocks topo ~scope =
@@ -29,13 +37,13 @@ let blocks topo ~scope =
   let result =
     Hashtbl.fold
       (fun (role, generation, _) members acc ->
-        { members = List.sort compare members; role; generation } :: acc)
+        { members = List.sort Int.compare members; role; generation } :: acc)
       table []
   in
   List.sort
     (fun a b ->
       match (a.members, b.members) with
-      | x :: _, y :: _ -> compare x y
+      | x :: _, y :: _ -> Int.compare x y
       | _ -> 0 (* blocks are never empty by construction *))
     result
 

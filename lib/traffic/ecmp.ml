@@ -168,7 +168,7 @@ let evaluate ?(scale = 1.0) ?(split = `Equal) topo sc c ~loads =
   Ivec.clear sc.touched;
   Array.iter
     (fun (s, v) ->
-      if sc.vol.(s) = 0.0 then Ivec.push sc.touched s;
+      if Float.equal sc.vol.(s) 0.0 then Ivec.push sc.touched s;
       sc.vol.(s) <- sc.vol.(s) +. (v *. scale))
     c.sources;
   let n_stages = Array.length c.stages in
@@ -218,7 +218,7 @@ let evaluate ?(scale = 1.0) ?(split = `Equal) topo sc c ~loads =
           else v /. float_of_int sc.cand.(prev)
         in
         loads.(j) <- loads.(j) +. share;
-        if sc.nvol.(next) = 0.0 then Ivec.push sc.ntouched next;
+        if Float.equal sc.nvol.(next) 0.0 then Ivec.push sc.ntouched next;
         sc.nvol.(next) <- sc.nvol.(next) +. share
       end
     done;
@@ -226,7 +226,7 @@ let evaluate ?(scale = 1.0) ?(split = `Equal) topo sc c ~loads =
     Array.iter
       (fun s ->
         if sc.cand.(s) = -1 && sc.vol.(s) > 0.0 then begin
-          if sc.nvol.(s) = 0.0 then Ivec.push sc.ntouched s;
+          if Float.equal sc.nvol.(s) 0.0 then Ivec.push sc.ntouched s;
           sc.nvol.(s) <- sc.nvol.(s) +. sc.vol.(s)
         end)
       stage.skip_switches;
@@ -378,14 +378,14 @@ let forward_record ~weighted ~from_ topo sc st ~loads ~mark =
         loads.(j) <- loads.(j) +. share;
         mark j;
         Fvec.push sr.contrib j share;
-        if sc.nvol.(next) = 0.0 then Ivec.push sc.ntouched next;
+        if Float.equal sc.nvol.(next) 0.0 then Ivec.push sc.ntouched next;
         sc.nvol.(next) <- sc.nvol.(next) +. share
       end
     done;
     Array.iter
       (fun s ->
         if sc.cand.(s) = -1 && sc.vol.(s) > 0.0 then begin
-          if sc.nvol.(s) = 0.0 then Ivec.push sc.ntouched s;
+          if Float.equal sc.nvol.(s) 0.0 then Ivec.push sc.ntouched s;
           sc.nvol.(s) <- sc.nvol.(s) +. sc.vol.(s)
         end)
       stage.skip_switches;
@@ -417,7 +417,7 @@ let load_sources sc c ~scale =
   Ivec.clear sc.touched;
   Array.iter
     (fun (s, v) ->
-      if sc.vol.(s) = 0.0 then Ivec.push sc.touched s;
+      if Float.equal sc.vol.(s) 0.0 then Ivec.push sc.touched s;
       sc.vol.(s) <- sc.vol.(s) +. (v *. scale))
     c.sources
 

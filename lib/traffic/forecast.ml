@@ -17,9 +17,20 @@ let create ?(weekly_growth = 0.01) ?(spike_probability = 0.05)
   }
 
 (* Spikes must be reproducible per (week, class) independent of query
-   order, so each query derives a fresh stream from a hash of the key. *)
+   order, so each query derives a fresh stream from a hash of the key.
+   The hash is hand-rolled (FNV-1a over the class name, Knuth
+   multiplicative mixing for the ints) rather than the polymorphic
+   [Hashtbl.hash] (R1): this one is total over the key, keyed by every
+   byte of the name, and pinned independent of stdlib internals. *)
+let key_hash seed ~week ~class_name =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land max_int)
+    class_name;
+  (!h lxor (seed * 0x2545F491) lxor (week * 0x9E3779B1)) land max_int
+
 let spike_draw t ~week ~class_name =
-  let h = Hashtbl.hash (t.seed, week, class_name) in
+  let h = key_hash t.seed ~week ~class_name in
   let g = Prng.create ~seed:(t.seed lxor (h * 2654435761)) in
   Prng.float g 1.0
 

@@ -60,7 +60,7 @@ module Graph = struct
     if u = sink then pushed
     else begin
       let result = ref 0.0 in
-      while !result = 0.0 && f.iter.(u) < Array.length f.edges.(u) do
+      while Float.equal !result 0.0 && f.iter.(u) < Array.length f.edges.(u) do
         let e = f.edges.(u).(f.iter.(u)) in
         if e.cap > eps && f.level.(e.dst) = f.level.(u) + 1 then begin
           let d = dfs f e.dst ~sink (Float.min pushed e.cap) in

@@ -35,6 +35,9 @@ let popcount_byte =
     table.(i) <- table.(i lsr 1) + (i land 1)
   done;
   fun c -> table.(Char.code c)
+[@@klotski.domain_safe
+  "the table is fully built at module-load time (before any domain spawns) \
+   and read-only afterwards"]
 
 let cardinal t =
   let acc = ref 0 in

@@ -48,5 +48,5 @@ let percentile xs p =
 let median xs = percentile xs 50.0
 
 let normalize_by base xs =
-  if base = 0.0 then invalid_arg "Stats.normalize_by: zero base";
+  if Float.equal base 0.0 then invalid_arg "Stats.normalize_by: zero base";
   Array.map (fun x -> x /. base) xs

@@ -20,12 +20,12 @@ let hash (v : t) =
 
 let compare (a : t) (b : t) =
   let la = Array.length a and lb = Array.length b in
-  if la <> lb then Stdlib.compare la lb
+  if la <> lb then Int.compare la lb
   else
     let rec loop i =
       if i >= la then 0
       else
-        let c = Stdlib.compare a.(i) b.(i) in
+        let c = Int.compare a.(i) b.(i) in
         if c <> 0 then c else loop (i + 1)
     in
     loop 0

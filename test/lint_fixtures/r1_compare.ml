@@ -1,0 +1,11 @@
+(* R1 fixture: polymorphic comparison and hashing. *)
+
+let sort_pairs pairs = List.sort compare pairs
+let lookup_hash key = Hashtbl.hash key
+let is_origin p = p = (0, 0)
+let as_predicate = ( = )
+
+(* Not findings: a dedicated comparator, and a labelled-argument pun
+   that passes the local [compare] rather than [Stdlib.compare]. *)
+let fine xs = List.sort Int.compare xs
+let pun ~compare = Sorted.create ~compare

@@ -1,0 +1,20 @@
+(* R2 fixture: module-level mutable state (linted with R2 forced on,
+   as if this module were reachable from Sat_engine workers). *)
+
+let hits = ref 0
+let memo = Hashtbl.create 64
+
+(* Annotated with a reason: accepted. *)
+let lut = Array.make 256 0
+[@@klotski.domain_safe "built before domains spawn, read-only after"]
+
+(* Annotation without a reason: the annotation is a finding and the
+   mutable state it meant to bless is still reported. *)
+let buf = Buffer.create 80 [@@klotski.domain_safe]
+
+(* Inside a function body: not module-initialization state, no finding. *)
+let counter () =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    !n

@@ -1,0 +1,9 @@
+(* R3 fixture: float-literal equality and hash-order float accumulation. *)
+
+let is_zero x = x = 0.0
+let nonzero x = x <> 0.0
+let total tbl = Hashtbl.fold (fun _ v acc -> acc +. v) tbl 0.0
+
+(* Not findings: Float.equal, and an integer fold accumulates no floats. *)
+let ok x = Float.equal x 0.0
+let count tbl = Hashtbl.fold (fun _ _ n -> n + 1) tbl 0

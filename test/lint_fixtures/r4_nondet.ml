@@ -1,0 +1,6 @@
+(* R4 fixture: nondeterminism sources outside lib/util/{prng,timer}.ml. *)
+
+let jitter () = Random.float 1.0
+let stamp () = Unix.gettimeofday ()
+let cpu () = Sys.time ()
+let who () = Domain.self ()

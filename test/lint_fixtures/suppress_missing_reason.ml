@@ -1,0 +1,5 @@
+(* Suppression fixture: a directive without a reason string is itself a
+   finding, and the violation it meant to silence survives. *)
+
+(* klotski-lint: allow R1 *)
+let sorted xs = List.sort compare xs

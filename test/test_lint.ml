@@ -1,0 +1,61 @@
+(* Golden tests for the klotski-lint rule catalog (lib/analysis): each
+   fixture under [lint_fixtures/] pairs with a [.expected] file holding
+   the exact findings, one [file:line:col [rule] message] line each.
+   Fixtures are linted as library code with R2 forced on, so every rule
+   is exercised regardless of where the fixture tree lives.
+
+   A separate test binary from [test_main]: compiler-libs (which the
+   analyzer is built on) ships a [Switch] compilation unit that clashes
+   with the topology library's unwrapped [Switch] module, so the two
+   cannot link into one executable. *)
+
+let fixture name = Filename.concat "lint_fixtures" name
+
+let render name =
+  Lint.lint_file (fixture name)
+  |> List.map (fun (f : Lint_finding.t) ->
+         Lint_finding.to_string
+           { f with Lint_finding.file = Filename.basename f.Lint_finding.file })
+
+let read_expected name =
+  let ic = open_in (fixture name) in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line ->
+            go (if String.equal (String.trim line) "" then acc else line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let golden name () =
+  let expected = read_expected (Filename.chop_suffix name ".ml" ^ ".expected") in
+  Alcotest.(check (list string)) name expected (render name)
+
+let fixtures =
+  [
+    "r1_compare.ml";
+    "r2_state.ml";
+    "r3_float.ml";
+    "r4_nondet.ml";
+    "r5_print.ml";
+    "suppress_ok.ml";
+    "suppress_missing_reason.ml";
+  ]
+
+let suppression_is_clean () =
+  Alcotest.(check (list string))
+    "reasoned allow directives silence every finding" []
+    (render "suppress_ok.ml")
+
+let suite =
+  ( "lint",
+    List.map (fun name -> Alcotest.test_case name `Quick (golden name)) fixtures
+    @ [
+        Alcotest.test_case "reasoned suppressions lint clean" `Quick
+          suppression_is_clean;
+      ] )
+
+let () = Alcotest.run "klotski-lint" [ suite ]
