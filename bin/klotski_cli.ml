@@ -148,7 +148,7 @@ let info_cmd =
         Printf.printf "actions:            %d\n" st.Gen.actions;
         Printf.printf "capacity touched:   %.1f Tbps\n" st.Gen.capacity_touched;
         let scope = sc.Gen.drain_switches @ sc.Gen.undrain_switches in
-        let sym = Symmetry.blocks sc.Gen.topo ~scope in
+        let sym = Symmetry.blocks (Topo.universe sc.Gen.topo) ~scope in
         Printf.printf "symmetry blocks:    %d (largest %d)\n" (List.length sym)
           (Symmetry.max_block_size sym);
         let blocks = Blocks.organize sc in

@@ -16,7 +16,11 @@ let parse ~file text =
     { Lexing.pos_fname = file; pos_lnum = 1; pos_bol = 0; pos_cnum = 0 };
   Parse.implementation lexbuf
 
-let default_r2_root = "Sat_engine"
+(* R2 roots: the worker entry point, plus the shared immutable universe
+   (aliased by every worker's overlay, so its module must hold no
+   module-level mutable state even though workers never call into it
+   through [Sat_engine]'s own call graph). *)
+let default_r2_roots = [ "Sat_engine"; "Universe" ]
 
 let has_suffix suf path = Filename.check_suffix path suf
 
@@ -76,7 +80,7 @@ let rec collect acc path =
   else if has_suffix ".ml" path then path :: acc
   else acc
 
-let run ?(r2_root = default_r2_root) ~roots () =
+let run ?(r2_roots = default_r2_roots) ~roots () =
   let files =
     List.fold_left collect [] roots |> List.sort_uniq String.compare
   in
@@ -95,7 +99,7 @@ let run ?(r2_root = default_r2_root) ~roots () =
         match r with Ok ast -> Some (file, ast) | Error _ -> None)
       parsed
   in
-  let reach = Lint_reach.reachable ~root_module:r2_root ok_asts in
+  let reach = Lint_reach.reachable ~root_modules:r2_roots ok_asts in
   let in_scope file =
     match reach with
     | None -> true

@@ -81,17 +81,20 @@ let references structure =
 let module_name_of_file path =
   String.capitalize_ascii (Filename.remove_extension (Filename.basename path))
 
-(* [reachable ~root_module files] is the set of file paths reachable
-   from the file defining [root_module], or [None] when no scanned file
-   defines it (callers then fall back to enforcing R2 everywhere). *)
-let reachable ~root_module (files : (string * structure) list) =
+(* [reachable ~root_modules files] is the set of file paths reachable
+   from the files defining any of [root_modules] (union over the roots
+   that resolve), or [None] when no scanned file defines any of them
+   (callers then fall back to enforcing R2 everywhere).  Multiple roots
+   cover state shared across domains without flowing through the worker
+   call graph — the immutable [Universe] every worker overlay aliases. *)
+let reachable ~root_modules (files : (string * structure) list) =
   let by_module = Hashtbl.create 64 in
   List.iter
     (fun (path, _) -> Hashtbl.replace by_module (module_name_of_file path) path)
     files;
-  match Hashtbl.find_opt by_module root_module with
-  | None -> None
-  | Some root_file ->
+  match List.filter_map (Hashtbl.find_opt by_module) root_modules with
+  | [] -> None
+  | root_files ->
       let refs_of = Hashtbl.create 64 in
       List.iter
         (fun (path, ast) -> Hashtbl.replace refs_of path (references ast))
@@ -122,5 +125,5 @@ let reachable ~root_module (files : (string * structure) list) =
             refs
         end
       in
-      visit root_file;
+      List.iter visit root_files;
       Some (Hashtbl.fold (fun k () l -> k :: l) seen [] |> List.sort String.compare)

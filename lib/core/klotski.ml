@@ -113,14 +113,17 @@ let remainder_task (task : Task.t) ~executed =
     blocks;
   let blocks_by_type = Array.map (fun l -> Array.of_list (List.rev l)) per_type in
   let task' =
-    {
-      task with
-      Task.topo;
-      blocks;
-      actions;
-      blocks_by_type;
-      counts = Array.map Array.length blocks_by_type;
-    }
+    (* [relower] recomputes the block-id-keyed indexes (dependency index,
+       compact-state lowering) for the re-indexed blocks. *)
+    Task.relower
+      {
+        task with
+        Task.topo;
+        blocks;
+        actions;
+        blocks_by_type;
+        counts = Array.map Array.length blocks_by_type;
+      }
   in
   (task', mapping)
 

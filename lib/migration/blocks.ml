@@ -238,7 +238,7 @@ let symmetry_granularity (sc : Gen.scenario) =
           Action.make op (Action.Switch_layer (b.Symmetry.role, b.Symmetry.generation)),
           b.Symmetry.members,
           [] ))
-      (Symmetry.blocks sc.Gen.topo ~scope)
+      (Symmetry.blocks (Topo.universe sc.Gen.topo) ~scope)
   in
   let drains = symmetry Action.Drain sc.Gen.drain_switches in
   let undrains = symmetry Action.Undrain sc.Gen.undrain_switches in

@@ -13,6 +13,7 @@ type shard = { table : bool Table.t; lock : Mutex.t }
 type t = {
   enabled : bool;
   funneling : bool;
+  task : Task.t;  (* for the compact-state -> overlay-word lowering *)
   shards : shard array;
   hits : int Atomic.t;
   misses : int Atomic.t;
@@ -23,6 +24,7 @@ let create ?(enabled = true) (task : Task.t) =
   {
     enabled;
     funneling = task.Task.funneling > 0.0;
+    task;
     shards =
       Array.init n_shards (fun _ ->
           { table = Table.create 64; lock = Mutex.create () });
@@ -31,18 +33,22 @@ let create ?(enabled = true) (task : Task.t) =
     bypassed = Atomic.make 0;
   }
 
-(* With funneling, satisfiability also depends on which block was operated
-   last; appending the last action type to the key keeps entries sound
-   (the block is determined by V and the type under canonical order). *)
+(* Keys are the packed applied-block overlay words the compact vector
+   lowers to (Task.blit_state_words): the cache hashes the words that
+   actually describe the overlay instead of re-deriving per-type counts.
+   The lowering is injective — distinct vectors denote distinct block
+   sets — so hit/miss behavior is exactly that of keying on the vectors
+   themselves.  With funneling, satisfiability also depends on which
+   block was operated last; appending the last action type keeps entries
+   sound (the block is determined by V and the type under canonical
+   order). *)
 let key_of cache ?last_type v =
-  if not cache.funneling then v
-  else begin
-    let n = Array.length v in
-    let k = Array.make (n + 1) 0 in
-    Array.blit v 0 k 0 n;
-    k.(n) <- (match last_type with Some a -> a + 1 | None -> 0);
-    k
-  end
+  let w = cache.task.Task.state_word_count in
+  let k = Array.make (if cache.funneling then w + 1 else w) 0 in
+  Task.blit_state_words cache.task v ~into:k;
+  if cache.funneling then
+    k.(w) <- (match last_type with Some a -> a + 1 | None -> 0);
+  k
 
 let shard_of cache key =
   cache.shards.(Kutil.Vec_key.hash key land (n_shards - 1))
@@ -76,7 +82,8 @@ let check cache ck ?last_type ?last_block v =
     | None ->
         Atomic.incr cache.misses;
         let result = Constraint.check ?last_block ck v in
-        store shard (Kutil.Vec_key.copy key) result;
+        (* [key] is freshly lowered per lookup, never aliased: store as is. *)
+        store shard key result;
         result
   end
 

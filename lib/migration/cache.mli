@@ -3,10 +3,14 @@
     Equivalent states — same compact vector — have the same topology and
     hence the same satisfiability, so each vector is checked at most once.
     The table maps compact vectors to check results exactly as the paper's
-    unordered map maps (V, 0/1).  The funneling margin makes results
-    additionally depend on the last operated block; when (and only when) a
-    task enables funneling, the cache key is extended with the last action
-    type, which identifies the last block given V.
+    unordered map maps (V, 0/1); concretely each vector is lowered to the
+    packed applied-block overlay words it denotes ({!Task.state_words})
+    and those words are hashed directly — an injective lowering, so the
+    hit/miss behavior matches keying on the vectors themselves.  The
+    funneling margin makes results additionally depend on the last
+    operated block; when (and only when) a task enables funneling, the
+    cache key is extended with the last action type, which identifies the
+    last block given V.
 
     The table is domain-safe: it is sharded by key hash with a mutex per
     shard, so the parallel satisfiability engine's workers can look up,

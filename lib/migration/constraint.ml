@@ -29,17 +29,28 @@ type inc = {
   mutable patches_left : int;
 }
 
-type t = {
-  task : Task.t;
-  topo : Topo.t;
-  cur : int array;  (* applied blocks per action type *)
+(* Demand-evaluation state: the per-circuit loads, the ECMP scratch and
+   the optional incremental layer.  Allocated lazily on the first demand
+   evaluation — checker creation itself touches only the overlay words,
+   which is what makes per-worker (and future per-fork) checkers cheap. *)
+type eval_state = {
   loads : float array;
   scratch : Ecmp.scratch;
+  inc : inc option;
+}
+
+type t = {
+  task : Task.t;
+  topo : Topo.t;  (* private overlay; universe shared with the task *)
+  cur : int array;  (* applied blocks per action type *)
+  applied : int array;  (* packed applied-block words, kept by set_block *)
+  target : int array;  (* move_to scratch: lowered target state *)
+  mutable eval : eval_state option;
   mutable checks : int;
   related : int array option array;  (* funneling neighborhoods, lazy *)
   power_load : float array;  (* active draw per power domain *)
   mutable power_violations : int;  (* domains over capacity *)
-  inc : inc option;
+  incremental : bool;  (* delta demand evaluation requested and enabled *)
 }
 
 (* Refresh every so many patches: bounds the float drift the subtract/add
@@ -59,8 +70,9 @@ let env_enabled =
     | Some ("0" | "false" | "off" | "no") -> false
     | _ -> true)
 
-let make_inc (task : Task.t) topo =
-  let n_circuits = Topo.n_circuits topo in
+let make_inc (task : Task.t) =
+  let u = Task.universe task in
+  let n_circuits = Universe.n_circuits u in
   let class_cost =
     Array.map
       (fun (c, _) -> float_of_int (Ecmp.stage_circuit_count c))
@@ -79,7 +91,7 @@ let make_inc (task : Task.t) topo =
       task.Task.compiled
   in
   {
-    classes = Array.map (fun (c, _) -> Ecmp.make_inc topo c) task.Task.compiled;
+    classes = Array.map (fun (c, _) -> Ecmp.make_inc u c) task.Task.compiled;
     total_stuck = 0.0;
     loads_valid = false;
     pending = Array.make 64 0;
@@ -95,7 +107,23 @@ let make_inc (task : Task.t) topo =
     patches_left = patch_interval;
   }
 
-let create ?(incremental = true) (task : Task.t) =
+let eval_state ck =
+  match ck.eval with
+  | Some es -> es
+  | None ->
+      let es =
+        {
+          loads = Array.make (Topo.n_circuits ck.topo) 0.0;
+          scratch = Ecmp.make_scratch (Topo.universe ck.topo);
+          inc = (if ck.incremental then Some (make_inc ck.task) else None);
+        }
+      in
+      ck.eval <- Some es;
+      es
+
+let create ?(incremental = true) ?(eager = false) (task : Task.t) =
+  (* Overlay words only: the universe (switch/circuit/adjacency arrays)
+     stays physically shared with the task. *)
   let topo = Topo.copy task.Task.topo in
   let power_load, power_violations =
     match task.Task.power with
@@ -108,24 +136,28 @@ let create ?(incremental = true) (task : Task.t) =
           load;
         (load, !violations)
   in
-  {
-    task;
-    topo;
-    cur = Array.make (Action.Set.cardinal task.Task.actions) 0;
-    loads = Array.make (Topo.n_circuits task.Task.topo) 0.0;
-    scratch = Ecmp.make_scratch task.Task.topo;
-    checks = 0;
-    related = Array.make (Array.length task.Task.blocks) None;
-    power_load;
-    power_violations;
-    inc =
-      (if incremental && Lazy.force env_enabled then Some (make_inc task topo)
-       else None);
-  }
+  let ck =
+    {
+      task;
+      topo;
+      cur = Array.make (Action.Set.cardinal task.Task.actions) 0;
+      applied = Array.make task.Task.state_word_count 0;
+      target = Array.make task.Task.state_word_count 0;
+      eval = None;
+      checks = 0;
+      related = Array.make (Array.length task.Task.blocks) None;
+      power_load;
+      power_violations;
+      incremental = incremental && Lazy.force env_enabled;
+    }
+  in
+  if eager then ignore (eval_state ck : eval_state);
+  ck
 
 let task ck = ck.task
+let overlay ck = ck.topo
 
-let incremental_active ck = ck.inc <> None
+let incremental_active ck = ck.incremental
 
 (* Account a real activity transition of switch [s] against its power
    domain, maintaining the over-capacity domain count. *)
@@ -170,24 +202,41 @@ let set_block ck (b : Blocks.t) ~applied =
       end)
     b.Blocks.switches;
   Array.iter (fun c -> Topo.set_circuit_active ck.topo c active) b.Blocks.circuits;
-  match ck.inc with Some st -> note_pending st b.Blocks.id | None -> ()
+  let w = b.Blocks.id / 63 and bit = 1 lsl (b.Blocks.id mod 63) in
+  ck.applied.(w) <-
+    (if applied then ck.applied.(w) lor bit else ck.applied.(w) land lnot bit);
+  match ck.eval with
+  | Some { inc = Some st; _ } -> note_pending st b.Blocks.id
+  | _ -> ()
 
 let power_ok ck = ck.power_violations = 0
 
+let words_equal a b =
+  let n = Array.length a in
+  let rec go i = i >= n || (a.(i) = b.(i) && go (i + 1)) in
+  go 0
+
+(* Reconfigure to state [v]: lower it to applied-block words, and when
+   they differ from the current words toggle exactly the symmetric
+   difference — per action type, the canonical index range between the
+   current and target counts.  Blocks are disjoint, so the toggles
+   commute and only differing blocks are ever touched. *)
 let move_to ck (v : Compact.t) =
-  Array.iteri
-    (fun a target ->
-      while ck.cur.(a) < target do
-        let b = ck.task.Task.blocks_by_type.(a).(ck.cur.(a)) in
-        set_block ck ck.task.Task.blocks.(b) ~applied:true;
-        ck.cur.(a) <- ck.cur.(a) + 1
-      done;
-      while ck.cur.(a) > target do
-        let b = ck.task.Task.blocks_by_type.(a).(ck.cur.(a) - 1) in
-        set_block ck ck.task.Task.blocks.(b) ~applied:false;
-        ck.cur.(a) <- ck.cur.(a) - 1
-      done)
-    v
+  Task.blit_state_words ck.task v ~into:ck.target;
+  if not (words_equal ck.target ck.applied) then
+    Array.iteri
+      (fun a goal ->
+        while ck.cur.(a) < goal do
+          let b = ck.task.Task.blocks_by_type.(a).(ck.cur.(a)) in
+          set_block ck ck.task.Task.blocks.(b) ~applied:true;
+          ck.cur.(a) <- ck.cur.(a) + 1
+        done;
+        while ck.cur.(a) > goal do
+          let b = ck.task.Task.blocks_by_type.(a).(ck.cur.(a) - 1) in
+          set_block ck ck.task.Task.blocks.(b) ~applied:false;
+          ck.cur.(a) <- ck.cur.(a) - 1
+        done)
+      v
 
 (* Circuits that absorb the traffic a drained block was carrying: every
    universe circuit incident to a neighbor of the block, except those
@@ -197,23 +246,23 @@ let related_circuits ck b =
   | Some circuits -> circuits
   | None ->
       let block = ck.task.Task.blocks.(b) in
-      let topo = ck.task.Task.topo in
+      let u = Task.universe ck.task in
       let in_block = Hashtbl.create 16 in
       Array.iter (fun s -> Hashtbl.replace in_block s ()) block.Blocks.switches;
       let neighbors = Hashtbl.create 64 in
       let note_neighbor j s =
-        let other = Circuit.other_end (Topo.circuit topo j) s in
+        let other = Circuit.other_end (Universe.circuit u j) s in
         if not (Hashtbl.mem in_block other) then
           Hashtbl.replace neighbors other ()
       in
       Array.iter
         (fun s ->
-          Array.iter (fun j -> note_neighbor j s) (Topo.up_circuits topo s);
-          Array.iter (fun j -> note_neighbor j s) (Topo.down_circuits topo s))
+          Array.iter (fun j -> note_neighbor j s) (Universe.up_circuits u s);
+          Array.iter (fun j -> note_neighbor j s) (Universe.down_circuits u s))
         block.Blocks.switches;
       Array.iter
         (fun j ->
-          let c = Topo.circuit topo j in
+          let c = Universe.circuit u j in
           Hashtbl.replace neighbors c.Circuit.lo ();
           Hashtbl.replace neighbors c.Circuit.hi ())
         block.Blocks.circuits;
@@ -221,15 +270,15 @@ let related_circuits ck b =
       Hashtbl.iter
         (fun s () ->
           let keep j =
-            let c = Topo.circuit topo j in
+            let c = Universe.circuit u j in
             if
               not
                 (Hashtbl.mem in_block c.Circuit.lo
                 || Hashtbl.mem in_block c.Circuit.hi)
             then Hashtbl.replace acc j ()
           in
-          Array.iter keep (Topo.up_circuits topo s);
-          Array.iter keep (Topo.down_circuits topo s))
+          Array.iter keep (Universe.up_circuits u s);
+          Array.iter keep (Universe.down_circuits u s))
         neighbors;
       let circuits = Array.of_seq (Hashtbl.to_seq_keys acc) in
       Array.sort Int.compare circuits;
@@ -241,33 +290,39 @@ let split_of ck =
   | `Ecmp -> `Equal
   | `Weighted -> `Capacity_weighted
 
+(* The one usability gate every utilization read goes through: a circuit
+   counts toward θ, funneling and headroom only when it carries positive
+   load and is usable in the current overlay (its own flag and both
+   endpoints active).  Keeping this in one place prevents the two former
+   call sites from drifting apart now that activity lives in bitsets. *)
+let loaded_usable ck (loads : float array) j =
+  loads.(j) > 0.0 && Topo.usable ck.topo j
+
 (* The original full evaluation: zero the loads, replay every class.
    Used when the incremental layer is disabled. *)
-let eval_demands_full ck =
-  Array.fill ck.loads 0 (Array.length ck.loads) 0.0;
+let eval_demands_full ck es =
+  Array.fill es.loads 0 (Array.length es.loads) 0.0;
   let stuck = ref 0.0 in
   let split = split_of ck in
   Array.iter
     (fun (compiled, scale) ->
       let r =
-        Ecmp.evaluate ~scale ~split ck.topo ck.scratch compiled ~loads:ck.loads
+        Ecmp.evaluate ~scale ~split ck.topo es.scratch compiled ~loads:es.loads
       in
       stuck := !stuck +. r.Ecmp.stuck)
     ck.task.Task.compiled;
   !stuck
 
-let circuit_bad ck j =
-  let load = ck.loads.(j) in
-  load > 0.0
-  && Topo.usable ck.topo j
-  && load /. (Topo.circuit ck.topo j).Circuit.capacity
+let circuit_bad ck es j =
+  loaded_usable ck es.loads j
+  && es.loads.(j) /. (Topo.circuit ck.topo j).Circuit.capacity
      > ck.task.Task.theta +. 1e-9
 
-let rebuild_bad ck st =
+let rebuild_bad ck es st =
   Bytes.fill st.bad 0 (Bytes.length st.bad) '\000';
   let n_bad = ref 0 in
-  for j = 0 to Array.length ck.loads - 1 do
-    if circuit_bad ck j then begin
+  for j = 0 to Array.length es.loads - 1 do
+    if circuit_bad ck es j then begin
       Bytes.unsafe_set st.bad j '\001';
       incr n_bad
     end
@@ -276,22 +331,22 @@ let rebuild_bad ck st =
 
 (* Full rebuild of the incremental state: loads from zero, per-class
    recorded stages, utilization flags. *)
-let refresh ck st =
-  Array.fill ck.loads 0 (Array.length ck.loads) 0.0;
+let refresh ck es st =
+  Array.fill es.loads 0 (Array.length es.loads) 0.0;
   let split = split_of ck in
   let stuck = ref 0.0 in
   Array.iteri
     (fun d (_, scale) ->
       stuck :=
         !stuck
-        +. Ecmp.evaluate_rebuild ~scale ~split ck.topo ck.scratch
-             st.classes.(d) ~loads:ck.loads)
+        +. Ecmp.evaluate_rebuild ~scale ~split ck.topo es.scratch
+             st.classes.(d) ~loads:es.loads)
     ck.task.Task.compiled;
   st.total_stuck <- !stuck;
   st.loads_valid <- true;
   st.pending_len <- 0;
   st.patches_left <- patch_interval;
-  rebuild_bad ck st;
+  rebuild_bad ck es st;
   !stuck
 
 let mark_dirty st j =
@@ -320,11 +375,11 @@ let mark_block_circuits ck st =
       block.Blocks.switches
   done
 
-let recheck_dirty ck st =
+let recheck_dirty ck es st =
   for i = 0 to st.dirty_len - 1 do
     let j = st.dirty_list.(i) in
     let was = Bytes.unsafe_get st.bad j = '\001' in
-    let now = circuit_bad ck j in
+    let now = circuit_bad ck es j in
     if now <> was then begin
       Bytes.unsafe_set st.bad j (if now then '\001' else '\000');
       st.n_bad <- st.n_bad + (if now then 1 else -1)
@@ -337,8 +392,8 @@ let lowest_bit m =
   let rec go k = if m land (1 lsl k) <> 0 || k >= 62 then k else go (k + 1) in
   go 0
 
-let eval_incremental ck st =
-  if (not st.loads_valid) || st.patches_left <= 0 then refresh ck st
+let eval_incremental ck es st =
+  if (not st.loads_valid) || st.patches_left <= 0 then refresh ck es st
   else if st.pending_len = 0 then st.total_stuck
   else begin
     Array.fill st.masks 0 (Array.length st.masks) 0;
@@ -360,7 +415,7 @@ let eval_incremental ck st =
           est := !est +. suffix.(r)
         end)
       st.masks;
-    if !est >= fallback_fraction *. st.full_cost then refresh ck st
+    if !est >= fallback_fraction *. st.full_cost then refresh ck es st
     else begin
       st.patches_left <- st.patches_left - 1;
       mark_block_circuits ck st;
@@ -373,35 +428,37 @@ let eval_incremental ck st =
             let old = Ecmp.class_stuck cls in
             let _, scale = ck.task.Task.compiled.(d) in
             let fresh =
-              Ecmp.evaluate_patch ~scale ~split ck.topo ck.scratch cls ~dirty:m
-                ~loads:ck.loads ~mark:(fun j -> mark_dirty st j)
+              Ecmp.evaluate_patch ~scale ~split ck.topo es.scratch cls ~dirty:m
+                ~loads:es.loads ~mark:(fun j -> mark_dirty st j)
             in
             stuck := !stuck -. old +. fresh
           end)
         st.masks;
       st.total_stuck <- !stuck;
       st.pending_len <- 0;
-      recheck_dirty ck st;
+      recheck_dirty ck es st;
       !stuck
     end
   end
 
 let eval_demands ck =
-  match ck.inc with
-  | None -> eval_demands_full ck
-  | Some st -> eval_incremental ck st
+  let es = eval_state ck in
+  match es.inc with
+  | None -> eval_demands_full ck es
+  | Some st -> eval_incremental ck es st
 
 let utilization_ok ck =
-  match ck.inc with
+  let es = eval_state ck in
+  match es.inc with
   | Some st when st.loads_valid -> st.n_bad = 0
   | _ ->
       let theta = ck.task.Task.theta +. 1e-9 in
-      let n = Array.length ck.loads in
+      let n = Array.length es.loads in
       let rec loop j =
         j >= n
-        || ((Float.equal ck.loads.(j) 0.0
-            || (not (Topo.usable ck.topo j))
-            || ck.loads.(j) /. (Topo.circuit ck.topo j).Circuit.capacity <= theta)
+        || (((not (loaded_usable ck es.loads j))
+            || es.loads.(j) /. (Topo.circuit ck.topo j).Circuit.capacity
+               <= theta)
            && loop (j + 1))
       in
       loop 0
@@ -416,12 +473,13 @@ let funneling_ok ck ~last_block =
         let block = ck.task.Task.blocks.(b) in
         if block.Blocks.action.Action.op <> Action.Drain then true
         else begin
+          let es = eval_state ck in
           let theta = ck.task.Task.theta +. 1e-9 in
           let circuits = related_circuits ck b in
           Array.for_all
             (fun j ->
-              (not (Topo.usable ck.topo j))
-              || ck.loads.(j) *. (1.0 +. phi)
+              (not (loaded_usable ck es.loads j))
+              || es.loads.(j) *. (1.0 +. phi)
                  /. (Topo.circuit ck.topo j).Circuit.capacity
                  <= theta)
             circuits
@@ -454,16 +512,17 @@ let current_min_residual ck =
     let stuck = eval_demands ck in
     if stuck > 1e-9 then neg_infinity
     else begin
+      let es = eval_state ck in
       let theta = ck.task.Task.theta in
       let worst = ref infinity in
       Array.iteri
         (fun j load ->
-          if load > 0.0 && Topo.usable ck.topo j then begin
+          if loaded_usable ck es.loads j then begin
             let w = (Topo.circuit ck.topo j).Circuit.capacity in
             let residual = ((theta *. w) -. load) /. w in
             if residual < !worst then worst := residual
           end)
-        ck.loads;
+        es.loads;
       if !worst < -1e-9 then neg_infinity else !worst
     end
   end
@@ -510,12 +569,14 @@ type summary = {
 
 let evaluate_current ck =
   let stuck = eval_demands ck in
-  (* Bounded top-5 scan: one pass, no list of all loaded circuits. *)
+  let es = eval_state ck in
+  (* Bounded top-5 scan: one pass, no list of all loaded circuits.  Reads
+     usability through the same [loaded_usable] gate as the θ checks. *)
   let top_j = Array.make 5 (-1) in
   let top_u = Array.make 5 neg_infinity in
   Array.iteri
     (fun j load ->
-      if load > 0.0 && Topo.usable ck.topo j then begin
+      if loaded_usable ck es.loads j then begin
         let u = load /. (Topo.circuit ck.topo j).Circuit.capacity in
         if u > top_u.(4) then begin
           let k = ref 4 in
@@ -528,7 +589,7 @@ let evaluate_current ck =
           top_j.(!k) <- j
         end
       end)
-    ck.loads;
+    es.loads;
   let hottest = ref [] in
   for k = 4 downto 0 do
     if top_j.(k) >= 0 then hottest := (top_j.(k), top_u.(k)) :: !hottest

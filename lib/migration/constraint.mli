@@ -1,10 +1,17 @@
 (** The satisfiability checker: demand constraints (Eq. 4–5) and port
     constraints (Eq. 6) on intermediate topologies.
 
-    One checker owns a private copy of the universe topology and moves it
-    between compact states by toggling operation blocks — the cost of a
-    move is proportional to the state difference, and a full check is
-    Θ(|S| + |C|) as in Theorems 1–2:
+    One checker owns a private topology {e overlay} — activity bitsets,
+    usable degrees, counters — while the immutable {!Universe.t} stays
+    physically shared with the task and every other checker.  Creation
+    allocates only those overlay words (plus the tiny compact-state
+    arrays); the demand-evaluation state (per-circuit loads, ECMP
+    scratch, incremental layer) is allocated lazily on the first
+    evaluation.  The checker moves between compact states by toggling
+    operation blocks — a move lowers the target state to packed
+    applied-block words ({!Task.blit_state_words}), compares them with
+    the current words and toggles exactly the symmetric difference — and
+    a full check is Θ(|S| + |C|) as in Theorems 1–2:
 
     - port constraints are maintained incrementally by {!Topo} (O(1));
     - space & power constraints (§7.2), when the task carries a
@@ -27,11 +34,15 @@
 
 type t
 
-val create : ?incremental:bool -> Task.t -> t
-(** A fresh checker for [task].  The task's topology is copied; several
-    checkers never interfere.  [incremental] (default [true]) enables the
-    delta demand evaluation; setting the environment variable
-    [KLOTSKI_INCREMENTAL=0] forces it off globally (escape hatch). *)
+val create : ?incremental:bool -> ?eager:bool -> Task.t -> t
+(** A fresh checker for [task].  Only the task topology's overlay words
+    are copied — no switch, circuit or adjacency array is duplicated —
+    so several checkers never interfere yet share the universe
+    physically.  [incremental] (default [true]) enables the delta demand
+    evaluation; setting the environment variable [KLOTSKI_INCREMENTAL=0]
+    forces it off globally (escape hatch).  [eager] (default [false])
+    also allocates the demand-evaluation state up front instead of on
+    first use — the pre-overlay creation cost, kept for benchmarks. *)
 
 val incremental_active : t -> bool
 (** Whether this checker delta-evaluates demands. *)
@@ -61,6 +72,11 @@ val evaluate_current : t -> summary
     examples and the CLI's [check] command). *)
 
 val task : t -> Task.t
+
+val overlay : t -> Topo.t
+(** The checker's private topology overlay, for diagnostics and tests.
+    Do not toggle it directly — go through {!move_to} or the raw block
+    operations, which keep the compact-state tracking in sync. *)
 
 val related_circuits : t -> int -> int array
 (** The circuits that absorb a drained block's traffic — every universe

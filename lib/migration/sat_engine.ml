@@ -19,6 +19,11 @@ type t = {
   task : Task.t;
   pool : Kutil.Domain_pool.t;
   checkers : Constraint.t option array;  (* slot [w] touched only by worker [w] *)
+  counted : int Atomic.t array;
+      (* per-worker check counts, published by the owning worker after
+         every candidate: unlike the checkers themselves, these may be
+         read from domain 0 at any time (stats mid-flight), so the
+         cross-domain read needs the atomic's happens-before edge *)
   cache : Cache.t;
   incremental : bool;
   mutable check_seconds : float;
@@ -33,6 +38,7 @@ let create ?(jobs = 1) ?(use_cache = true) ?(incremental = true)
     task;
     pool = Kutil.Domain_pool.create ~jobs;
     checkers;
+    counted = Array.init jobs (fun _ -> Atomic.make 0);
     cache = Cache.create ~enabled:use_cache task;
     incremental;
     check_seconds = 0.0;
@@ -50,7 +56,10 @@ let checker e wid =
       ck
 
 let check_candidate e wid { last_type; last_block; v } =
-  Cache.check e.cache (checker e wid) ?last_type ?last_block v
+  let ck = checker e wid in
+  let r = Cache.check e.cache ck ?last_type ?last_block v in
+  Atomic.set e.counted.(wid) (Constraint.checks_performed ck);
+  r
 
 let check e ?last_type ?last_block v =
   let started = Kutil.Timer.now () in
@@ -67,10 +76,7 @@ let check_batch e candidates =
   r
 
 let checks_performed e =
-  Array.fold_left
-    (fun acc ck ->
-      match ck with Some ck -> acc + Constraint.checks_performed ck | None -> acc)
-    0 e.checkers
+  Array.fold_left (fun acc c -> acc + Atomic.get c) 0 e.counted
 
 let cache_hits e = Cache.hits e.cache
 let cache_misses e = Cache.misses e.cache

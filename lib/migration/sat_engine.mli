@@ -42,7 +42,10 @@ val check_batch : t -> candidate array -> bool array
     planners never do, since distinct successors have distinct states. *)
 
 val checks_performed : t -> int
-(** Full (uncached) constraint evaluations, summed over workers. *)
+(** Full (uncached) constraint evaluations, summed over workers.  Each
+    worker publishes its count through an atomic after every candidate,
+    so reading this from the calling domain is race-free even while a
+    batch is in flight. *)
 
 val cache_hits : t -> int
 

@@ -15,6 +15,8 @@ type t = {
   power : Power.t option;
   adds_layer : bool;
   deps : (int * int) array array;
+  state_word_count : int;
+  block_prefix : int array array array;
 }
 
 (* The block→demand dependency index: a class's flow depends only on the
@@ -48,6 +50,31 @@ let build_deps topo blocks compiled =
       done;
       Array.of_list !pairs)
     blocks
+
+(* Lower the compact representation to per-block activity masks: block
+   [b] owns bit [b mod 63] of word [b / 63], and [block_prefix.(a).(k)]
+   is the union of the masks of the first [k] blocks of type [a] — the
+   exact applied-block set a compact count [k] denotes under canonical
+   order.  A full state V is then the word-wise OR (equivalently XOR:
+   blocks are disjoint) of its per-type prefixes, which is what
+   [state_words] computes and what the satisfiability cache keys hash. *)
+let lower_blocks blocks_by_type ~n_blocks =
+  let words = max 1 ((n_blocks + 62) / 63) in
+  let prefix =
+    Array.map
+      (fun type_blocks ->
+        let k = Array.length type_blocks in
+        let pre = Array.make_matrix (k + 1) words 0 in
+        Array.iteri
+          (fun i b ->
+            let row = pre.(i + 1) and prev = pre.(i) in
+            Array.blit prev 0 row 0 words;
+            row.(b / 63) <- row.(b / 63) lor (1 lsl (b mod 63)))
+          type_blocks;
+        pre)
+      blocks_by_type
+  in
+  (words, prefix)
 
 let index_blocks blocks =
   let actions =
@@ -85,7 +112,9 @@ let of_scenario ?(theta = 0.75) ?(alpha = 0.0) ?(funneling = 0.0)
   let rsws_by_dc = sc.Gen.layout.Gen.rsws_by_dc in
   let ebbs = sc.Gen.layout.Gen.ebbs in
   let compiled_raw =
-    List.map (fun d -> Routes.compile sc.Gen.topo ~rsws_by_dc ~ebbs d) demands
+    List.map
+      (fun d -> Routes.compile (Topo.universe sc.Gen.topo) ~rsws_by_dc ~ebbs d)
+      demands
   in
   (* Calibrate so the hottest circuit of the original topology runs at
      [target_util]: safety then forbids draining everything at once but
@@ -103,6 +132,9 @@ let of_scenario ?(theta = 0.75) ?(alpha = 0.0) ?(funneling = 0.0)
       if b.Blocks.id <> i then invalid_arg "Task.of_scenario: block id mismatch")
     blocks_arr;
   let actions, blocks_by_type, counts = index_blocks blocks in
+  let state_word_count, block_prefix =
+    lower_blocks blocks_by_type ~n_blocks:(Array.length blocks_arr)
+  in
   {
     name = sc.Gen.name;
     topo = sc.Gen.topo;
@@ -120,7 +152,42 @@ let of_scenario ?(theta = 0.75) ?(alpha = 0.0) ?(funneling = 0.0)
     power;
     adds_layer = sc.Gen.adds_layer;
     deps = build_deps sc.Gen.topo blocks_arr compiled;
+    state_word_count;
+    block_prefix;
   }
+
+(* Recompute every index derived from the topology/block structure.  Use
+   after rebuilding [blocks]/[blocks_by_type] (e.g. for a remainder task):
+   both the dependency index and the block-mask lowering are keyed by
+   block id, which re-indexing invalidates. *)
+let relower t =
+  let state_word_count, block_prefix =
+    lower_blocks t.blocks_by_type ~n_blocks:(Array.length t.blocks)
+  in
+  {
+    t with
+    deps = build_deps t.topo t.blocks t.compiled;
+    state_word_count;
+    block_prefix;
+  }
+
+let universe t = Topo.universe t.topo
+
+let blit_state_words t (v : Compact.t) ~into =
+  let w = t.state_word_count in
+  Array.fill into 0 w 0;
+  Array.iteri
+    (fun a k ->
+      let row = t.block_prefix.(a).(k) in
+      for i = 0 to w - 1 do
+        into.(i) <- into.(i) lor row.(i)
+      done)
+    v
+
+let state_words t v =
+  let into = Array.make t.state_word_count 0 in
+  blit_state_words t v ~into;
+  into
 
 
 let with_params ?theta ?alpha ?funneling ?routing ?type_weights ?power t =

@@ -44,6 +44,14 @@ type t = {
           the only stages (bit [k] = stage [k]) where the change can
           enter.  The incremental satisfiability checker drives its delta
           evaluation off this. *)
+  state_word_count : int;
+      (** Words of the packed applied-block representation: blocks are
+          lowered to one bit each (bit [b mod 63] of word [b / 63]). *)
+  block_prefix : int array array array;
+      (** [block_prefix.(a).(k)]: packed applied-block mask of the first
+          [k] blocks of type [a] in canonical order — the lowering of a
+          compact count to the block set it denotes.  Computed once at
+          task build time. *)
 }
 
 val of_scenario :
@@ -88,6 +96,27 @@ val scale_demands : t -> float array -> t
 (** Multiply every class's current volume by a factor — the natural form
     for demand forecasts (§7.1): a factor of 1.0 keeps the class as
     calibrated, 1.1 grows it by 10%. *)
+
+val relower : t -> t
+(** Recompute the indexes derived from the block structure — the
+    block→demand dependency index and the compact-state lowering
+    ([state_word_count]/[block_prefix]) — after [blocks],
+    [blocks_by_type] or [topo] have been rebuilt (remainder tasks).
+    Both are keyed by block id, so re-indexing the blocks without
+    relowering would leave them pointing at the wrong blocks. *)
+
+val universe : t -> Universe.t
+(** The immutable structure shared by every checker of this task. *)
+
+val state_words : t -> Compact.t -> int array
+(** [state_words t v] packs the applied-block set that the compact state
+    [v] denotes into [t.state_word_count] words — the overlay words the
+    satisfiability cache hashes.  The mapping is injective: distinct
+    compact states denote distinct block sets. *)
+
+val blit_state_words : t -> Compact.t -> into:int array -> unit
+(** Allocation-free {!state_words}: writes words
+    [0 .. t.state_word_count - 1] of [into] (which may be longer). *)
 
 val total_blocks : t -> int
 (** |L|: the number of block-level actions to perform. *)

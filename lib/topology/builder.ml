@@ -83,7 +83,7 @@ let freeze t =
   let circuits =
     Array.of_list (List.rev_map (fun p -> p.ci) t.rev_circuits)
   in
-  let topo = Topo.create ~switches ~circuits in
+  let topo = Topo.of_universe (Universe.create ~switches ~circuits) in
   (* Deactivate future circuits first so switch toggles do not double-count
      usable transitions (set_* are idempotent either way, but this keeps the
      transition count minimal). *)

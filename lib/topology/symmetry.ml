@@ -12,23 +12,23 @@ let neighbor_compare (sa, ca) (sb, cb) =
   let c = Int.compare sa sb in
   if c <> 0 then c else Float.compare ca cb
 
-let signature topo s =
-  let sw = Topo.switch topo s in
+let signature u s =
+  let sw = Universe.switch u s in
   let neighbors = ref [] in
   let note j =
-    let c = Topo.circuit topo j in
+    let c = Universe.circuit u j in
     neighbors := (Circuit.other_end c s, c.Circuit.capacity) :: !neighbors
   in
-  Array.iter note (Topo.up_circuits topo s);
-  Array.iter note (Topo.down_circuits topo s);
+  Array.iter note (Universe.up_circuits u s);
+  Array.iter note (Universe.down_circuits u s);
   let sorted = List.sort neighbor_compare !neighbors in
   (sw.Switch.role, sw.Switch.generation, sorted)
 
-let blocks topo ~scope =
+let blocks u ~scope =
   let table = Hashtbl.create 64 in
   List.iter
     (fun s ->
-      let key = signature topo s in
+      let key = signature u s in
       let previous =
         match Hashtbl.find_opt table key with Some l -> l | None -> []
       in

@@ -18,12 +18,13 @@ type block = {
   generation : int;  (** Common hardware generation. *)
 }
 
-val blocks : Topo.t -> scope:int list -> block list
-(** [blocks topo ~scope] partitions the switches of [scope] into symmetry
+val blocks : Universe.t -> scope:int list -> block list
+(** [blocks u ~scope] partitions the switches of [scope] into symmetry
     blocks.  Connectivity is judged on the whole universe (active and
     future circuits alike), because switches to be operated are compared by
-    where they are or will be wired.  Blocks come out sorted by their
-    smallest member. *)
+    where they are or will be wired — which is why this takes the static
+    {!Universe.t} and not an activity overlay.  Blocks come out sorted by
+    their smallest member. *)
 
 val max_block_size : block list -> int
 (** Size of the largest block; 0 for an empty list. *)

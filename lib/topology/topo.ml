@@ -1,79 +1,35 @@
 module Bitset = Kutil.Bitset
 
+(* The mutable overlay over an immutable [Universe.t]: activity bitsets
+   plus the incrementally maintained usable set, usable degrees and
+   port-violation counter.  Copying an overlay copies only these words —
+   the universe is shared physically, which is what lets every worker
+   domain of the satisfiability engine hold its own overlay cheaply. *)
 type t = {
-  switches : Switch.t array;
-  circuits : Circuit.t array;
-  up : int array array;
-  down : int array array;
+  u : Universe.t;
   switch_active : Bitset.t;
   circuit_active : Bitset.t;
   usable_set : Bitset.t;  (* circuit flag AND both endpoints active *)
   usable_deg : int array;
   mutable usable_count : int;
   mutable port_violations : int;
-  mutable name_index : (string, int) Hashtbl.t option;
 }
 
-let validate switches circuits =
-  Array.iteri
-    (fun i (s : Switch.t) ->
-      if s.Switch.id <> i then invalid_arg "Topo.create: switch id mismatch")
-    switches;
-  Array.iteri
-    (fun j (c : Circuit.t) ->
-      if c.Circuit.id <> j then invalid_arg "Topo.create: circuit id mismatch";
-      let n = Array.length switches in
-      if c.lo < 0 || c.lo >= n || c.hi < 0 || c.hi >= n then
-        invalid_arg "Topo.create: circuit endpoint out of range";
-      let rlo = Switch.rank switches.(c.lo).role
-      and rhi = Switch.rank switches.(c.hi).role in
-      if rlo >= rhi then
-        invalid_arg "Topo.create: circuit endpoints must go lower->higher rank")
-    circuits
-
-let create ~switches ~circuits =
-  validate switches circuits;
-  let n = Array.length switches and m = Array.length circuits in
-  let up_count = Array.make n 0 and down_count = Array.make n 0 in
-  Array.iter
-    (fun (c : Circuit.t) ->
-      up_count.(c.lo) <- up_count.(c.lo) + 1;
-      down_count.(c.hi) <- down_count.(c.hi) + 1)
-    circuits;
-  let up = Array.init n (fun i -> Array.make up_count.(i) (-1)) in
-  let down = Array.init n (fun i -> Array.make down_count.(i) (-1)) in
-  let up_fill = Array.make n 0 and down_fill = Array.make n 0 in
-  Array.iter
-    (fun (c : Circuit.t) ->
-      up.(c.lo).(up_fill.(c.lo)) <- c.id;
-      up_fill.(c.lo) <- up_fill.(c.lo) + 1;
-      down.(c.hi).(down_fill.(c.hi)) <- c.id;
-      down_fill.(c.hi) <- down_fill.(c.hi) + 1)
-    circuits;
-  let usable_deg = Array.make n 0 in
-  Array.iter
-    (fun (c : Circuit.t) ->
-      usable_deg.(c.lo) <- usable_deg.(c.lo) + 1;
-      usable_deg.(c.hi) <- usable_deg.(c.hi) + 1)
-    circuits;
-  let port_violations = ref 0 in
-  Array.iteri
-    (fun i (s : Switch.t) ->
-      if usable_deg.(i) > s.max_ports then incr port_violations)
-    switches;
+let of_universe u =
+  let n = Universe.n_switches u and m = Universe.n_circuits u in
   {
-    switches;
-    circuits;
-    up;
-    down;
+    u;
     switch_active = Bitset.create_full n;
     circuit_active = Bitset.create_full m;
     usable_set = Bitset.create_full m;
-    usable_deg;
+    usable_deg = Array.copy (Universe.full_degrees u);
     usable_count = m;
-    port_violations = !port_violations;
-    name_index = None;
+    port_violations = Universe.full_port_violations u;
   }
+
+let create ~switches ~circuits = of_universe (Universe.create ~switches ~circuits)
+
+let universe t = t.u
 
 let copy t =
   {
@@ -84,29 +40,43 @@ let copy t =
     usable_deg = Array.copy t.usable_deg;
   }
 
-let n_switches t = Array.length t.switches
-let n_circuits t = Array.length t.circuits
-let switch t i = t.switches.(i)
-let circuit t j = t.circuits.(j)
-let switches t = t.switches
-let circuits t = t.circuits
-let up_circuits t s = t.up.(s)
-let down_circuits t s = t.down.(s)
+(* A snapshot is a frozen overlay: same shape, no universe of its own. *)
+type snapshot = {
+  s_switch_active : Bitset.t;
+  s_circuit_active : Bitset.t;
+  s_usable_set : Bitset.t;
+  s_usable_deg : int array;
+  s_usable_count : int;
+  s_port_violations : int;
+}
 
-let find_switch t name =
-  let index =
-    match t.name_index with
-    | Some idx -> idx
-    | None ->
-        let idx = Hashtbl.create (Array.length t.switches) in
-        Array.iter (fun (s : Switch.t) -> Hashtbl.replace idx s.name s.id)
-          t.switches;
-        t.name_index <- Some idx;
-        idx
-  in
-  match Hashtbl.find_opt index name with
-  | Some i -> Some t.switches.(i)
-  | None -> None
+let snapshot t =
+  {
+    s_switch_active = Bitset.copy t.switch_active;
+    s_circuit_active = Bitset.copy t.circuit_active;
+    s_usable_set = Bitset.copy t.usable_set;
+    s_usable_deg = Array.copy t.usable_deg;
+    s_usable_count = t.usable_count;
+    s_port_violations = t.port_violations;
+  }
+
+let restore t snap =
+  Bitset.blit ~src:snap.s_switch_active ~dst:t.switch_active;
+  Bitset.blit ~src:snap.s_circuit_active ~dst:t.circuit_active;
+  Bitset.blit ~src:snap.s_usable_set ~dst:t.usable_set;
+  Array.blit snap.s_usable_deg 0 t.usable_deg 0 (Array.length t.usable_deg);
+  t.usable_count <- snap.s_usable_count;
+  t.port_violations <- snap.s_port_violations
+
+let n_switches t = Universe.n_switches t.u
+let n_circuits t = Universe.n_circuits t.u
+let switch t i = Universe.switch t.u i
+let circuit t j = Universe.circuit t.u j
+let switches t = Universe.switches t.u
+let circuits t = Universe.circuits t.u
+let up_circuits t s = Universe.up_circuits t.u s
+let down_circuits t s = Universe.down_circuits t.u s
+let find_switch t name = Universe.find_switch t.u name
 
 let switch_active t i = Bitset.mem t.switch_active i
 let circuit_active t j = Bitset.mem t.circuit_active j
@@ -116,7 +86,7 @@ let usable t j = Bitset.mem t.usable_set j
 (* Adjust the usable degree of [s] by [delta], keeping the violation count
    in sync with the switch's port limit crossing. *)
 let bump_degree t s delta =
-  let limit = t.switches.(s).max_ports in
+  let limit = (Universe.switch t.u s).Switch.max_ports in
   let before = t.usable_deg.(s) in
   let after = before + delta in
   t.usable_deg.(s) <- after;
@@ -134,7 +104,7 @@ let mark_usable t (c : Circuit.t) present =
 
 let set_circuit_active t j active =
   if Bitset.mem t.circuit_active j <> active then begin
-    let c = t.circuits.(j) in
+    let c = Universe.circuit t.u j in
     let endpoints_up =
       Bitset.mem t.switch_active c.lo && Bitset.mem t.switch_active c.hi
     in
@@ -148,14 +118,14 @@ let set_switch_active t i active =
        the *other* endpoint are already up. *)
     let affect j =
       if Bitset.mem t.circuit_active j then begin
-        let c = t.circuits.(j) in
+        let c = Universe.circuit t.u j in
         let other = Circuit.other_end c i in
         if Bitset.mem t.switch_active other then mark_usable t c active
       end
     in
     Bitset.set t.switch_active i active;
-    Array.iter affect t.up.(i);
-    Array.iter affect t.down.(i)
+    Array.iter affect (Universe.up_circuits t.u i);
+    Array.iter affect (Universe.down_circuits t.u i)
   end
 
 let active_switch_count t = Bitset.cardinal t.switch_active
@@ -170,15 +140,16 @@ let usable_capacity_between t ra rb =
   Array.iter
     (fun (c : Circuit.t) ->
       if usable t c.id then begin
-        let rlo = t.switches.(c.lo).role and rhi = t.switches.(c.hi).role in
+        let rlo = (Universe.switch t.u c.lo).Switch.role
+        and rhi = (Universe.switch t.u c.hi).Switch.role in
         if (rlo = ra && rhi = rb) || (rlo = rb && rhi = ra) then
           total := !total +. c.capacity
       end)
-    t.circuits;
+    (Universe.circuits t.u);
   !total
 
 let reachable t ~from =
-  let n = Array.length t.switches in
+  let n = Universe.n_switches t.u in
   let seen = Bitset.create n in
   let queue = Queue.create () in
   let enqueue s =
@@ -190,9 +161,11 @@ let reachable t ~from =
   List.iter enqueue from;
   while not (Queue.is_empty queue) do
     let s = Queue.pop queue in
-    let visit j = if usable t j then enqueue (Circuit.other_end t.circuits.(j) s) in
-    Array.iter visit t.up.(s);
-    Array.iter visit t.down.(s)
+    let visit j =
+      if usable t j then enqueue (Circuit.other_end (Universe.circuit t.u j) s)
+    in
+    Array.iter visit (Universe.up_circuits t.u s);
+    Array.iter visit (Universe.down_circuits t.u s)
   done;
   seen
 

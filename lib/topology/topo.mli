@@ -1,30 +1,61 @@
-(** The mutable DCN topology: a layered multigraph of switches and circuits
-    with activity flags.
+(** The mutable topology overlay: activity state over an immutable
+    {!Universe.t}.
 
     A topology holds the {e universe} of a migration: every switch and
-    circuit of both the original and the target networks.  Switches and
-    circuits that exist in the current network state are {e active};
-    draining deactivates, onboarding (undraining) activates.  A circuit is
-    {e usable} only when its own flag and both endpoints are active — this
-    is how inter-DC circuits become "effectively lost" when the far end is
-    down (§2.2, "consider multiple DCs").
+    circuit of both the original and the target networks.  The static
+    structure (arrays, adjacency, port budgets, name index) lives in a
+    shared {!Universe.t}; this module is the thin mutable {e overlay} on
+    top of it — switch/circuit activity bitsets plus the incrementally
+    maintained usable set, per-switch usable degrees and the
+    port-violation counter.  Switches and circuits that exist in the
+    current network state are {e active}; draining deactivates, onboarding
+    (undraining) activates.  A circuit is {e usable} only when its own
+    flag and both endpoints are active — this is how inter-DC circuits
+    become "effectively lost" when the far end is down (§2.2, "consider
+    multiple DCs").
 
-    The structure maintains, incrementally under toggles, the usable degree
+    {!copy} duplicates only the overlay words and shares the universe
+    physically, so per-worker checkers cost O(overlay), not O(topology).
+    The overlay maintains, incrementally under toggles, the usable degree
     of every switch and the number of port-constraint violations, so the
     port check of Eq. 6 is O(1) per state. *)
 
 type t
 
 val create : switches:Switch.t array -> circuits:Circuit.t array -> t
-(** [create ~switches ~circuits] builds a topology where everything is
-    initially active.  [switches.(i).id] must equal [i] and
-    [circuits.(j).id] must equal [j]; endpoints must have different
-    {!Switch.rank}.  Raises [Invalid_argument] otherwise. *)
+(** [create ~switches ~circuits] builds a fresh universe plus an overlay
+    where everything is initially active.  Validation rules are those of
+    {!Universe.create}. *)
+
+val of_universe : Universe.t -> t
+(** [of_universe u] is an everything-active overlay sharing [u]. *)
+
+val universe : t -> Universe.t
+(** The shared immutable structure under this overlay. *)
 
 val copy : t -> t
-(** Deep copy: activity flags and caches are independent of the source. *)
+(** Copy the overlay: activity flags and counters become independent of
+    the source; the universe stays physically shared. *)
 
-(** {1 Static structure} *)
+(** {1 Snapshots}
+
+    A snapshot freezes the overlay words so a later {!restore} can rewind
+    the same (or an equal-shaped) overlay in O(overlay) time — the state
+    forking primitive planners can build on. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** Capture the current activity state, usable set/degrees and counters. *)
+
+val restore : t -> snapshot -> unit
+(** Rewind [t] to a previously captured snapshot.  The snapshot must come
+    from an overlay of the same universe shape.  Raises
+    [Invalid_argument] on a capacity mismatch. *)
+
+(** {1 Static structure}
+
+    Convenience pass-throughs to the shared {!Universe.t}. *)
 
 val n_switches : t -> int
 val n_circuits : t -> int
@@ -49,7 +80,8 @@ val down_circuits : t -> int -> int array
 (** [down_circuits t s] are ids of circuits whose [hi] endpoint is [s]. *)
 
 val find_switch : t -> string -> Switch.t option
-(** Look a switch up by name (O(1) after the first call). *)
+(** Look a switch up by name — O(1) through the universe's eagerly built
+    index; never mutates. *)
 
 (** {1 Activity} *)
 

@@ -1,0 +1,93 @@
+(* The immutable half of the topology split: every field is written once
+   here and never again, so one universe can be shared physically by any
+   number of overlays across any number of domains. *)
+
+type t = {
+  switches : Switch.t array;
+  circuits : Circuit.t array;
+  up : int array array;
+  down : int array array;
+  name_index : (string, int) Hashtbl.t;
+      (* built eagerly so sharing across domains needs no synchronization *)
+  full_deg : int array;  (* incident-circuit count per switch *)
+  full_port_violations : int;  (* violations when everything is usable *)
+}
+
+let validate switches circuits =
+  Array.iteri
+    (fun i (s : Switch.t) ->
+      if s.Switch.id <> i then invalid_arg "Universe.create: switch id mismatch")
+    switches;
+  Array.iteri
+    (fun j (c : Circuit.t) ->
+      if c.Circuit.id <> j then
+        invalid_arg "Universe.create: circuit id mismatch";
+      let n = Array.length switches in
+      if c.lo < 0 || c.lo >= n || c.hi < 0 || c.hi >= n then
+        invalid_arg "Universe.create: circuit endpoint out of range";
+      let rlo = Switch.rank switches.(c.lo).role
+      and rhi = Switch.rank switches.(c.hi).role in
+      if rlo >= rhi then
+        invalid_arg "Universe.create: circuit endpoints must go lower->higher rank")
+    circuits
+
+let create ~switches ~circuits =
+  validate switches circuits;
+  let n = Array.length switches in
+  let up_count = Array.make n 0 and down_count = Array.make n 0 in
+  Array.iter
+    (fun (c : Circuit.t) ->
+      up_count.(c.lo) <- up_count.(c.lo) + 1;
+      down_count.(c.hi) <- down_count.(c.hi) + 1)
+    circuits;
+  let up = Array.init n (fun i -> Array.make up_count.(i) (-1)) in
+  let down = Array.init n (fun i -> Array.make down_count.(i) (-1)) in
+  let up_fill = Array.make n 0 and down_fill = Array.make n 0 in
+  Array.iter
+    (fun (c : Circuit.t) ->
+      up.(c.lo).(up_fill.(c.lo)) <- c.id;
+      up_fill.(c.lo) <- up_fill.(c.lo) + 1;
+      down.(c.hi).(down_fill.(c.hi)) <- c.id;
+      down_fill.(c.hi) <- down_fill.(c.hi) + 1)
+    circuits;
+  let full_deg = Array.make n 0 in
+  Array.iter
+    (fun (c : Circuit.t) ->
+      full_deg.(c.lo) <- full_deg.(c.lo) + 1;
+      full_deg.(c.hi) <- full_deg.(c.hi) + 1)
+    circuits;
+  let full_port_violations = ref 0 in
+  Array.iteri
+    (fun i (s : Switch.t) ->
+      if full_deg.(i) > s.max_ports then incr full_port_violations)
+    switches;
+  let name_index = Hashtbl.create (max 16 n) in
+  Array.iter (fun (s : Switch.t) -> Hashtbl.replace name_index s.name s.id)
+    switches;
+  {
+    switches;
+    circuits;
+    up;
+    down;
+    name_index;
+    full_deg;
+    full_port_violations = !full_port_violations;
+  }
+
+let n_switches u = Array.length u.switches
+let n_circuits u = Array.length u.circuits
+let switch u i = u.switches.(i)
+let circuit u j = u.circuits.(j)
+let switches u = u.switches
+let circuits u = u.circuits
+let up_circuits u s = u.up.(s)
+let down_circuits u s = u.down.(s)
+
+let find_switch u name =
+  match Hashtbl.find_opt u.name_index name with
+  | Some i -> Some u.switches.(i)
+  | None -> None
+
+let full_degree u s = u.full_deg.(s)
+let full_degrees u = u.full_deg
+let full_port_violations u = u.full_port_violations

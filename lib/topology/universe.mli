@@ -1,0 +1,56 @@
+(** The immutable, domain-shareable half of a topology.
+
+    A universe records everything about a migration's network that never
+    changes while planning: the switch and circuit arrays, the up/down
+    adjacency lists, per-switch port budgets, and the name index.  All of
+    it is built once by {!create} and never mutated afterwards, so a single
+    universe is safely shared — physically, without copies or locks — by
+    every {!Topo.t} overlay and hence every constraint checker and worker
+    domain spawned from one task.
+
+    The mutable half (activity flags, usable degrees, port-violation
+    counters) lives in {!Topo}, which holds a reference to its universe. *)
+
+type t
+
+val create : switches:Switch.t array -> circuits:Circuit.t array -> t
+(** [create ~switches ~circuits] validates and freezes the static
+    structure.  [switches.(i).id] must equal [i], [circuits.(j).id] must
+    equal [j], and circuit endpoints must go lower → higher {!Switch.rank};
+    raises [Invalid_argument] otherwise.  The name index is built eagerly
+    here, so lookups never mutate shared state. *)
+
+val n_switches : t -> int
+val n_circuits : t -> int
+
+val switch : t -> int -> Switch.t
+(** [switch u i] is the switch with id [i]. *)
+
+val circuit : t -> int -> Circuit.t
+(** [circuit u j] is the circuit with id [j]. *)
+
+val switches : t -> Switch.t array
+(** The underlying switch array (do not mutate). *)
+
+val circuits : t -> Circuit.t array
+(** The underlying circuit array (do not mutate). *)
+
+val up_circuits : t -> int -> int array
+(** [up_circuits u s] are ids of circuits whose [lo] endpoint is [s]
+    (toward higher layers).  Internal array: do not mutate. *)
+
+val down_circuits : t -> int -> int array
+(** [down_circuits u s] are ids of circuits whose [hi] endpoint is [s]. *)
+
+val find_switch : t -> string -> Switch.t option
+(** Name lookup through the eagerly built index: O(1), never mutates. *)
+
+val full_degree : t -> int -> int
+(** Incident-circuit count of a switch — the usable degree when every
+    switch and circuit is active. *)
+
+val full_degrees : t -> int array
+(** The full-degree array (do not mutate). *)
+
+val full_port_violations : t -> int
+(** Port-constraint violations of the everything-active state. *)

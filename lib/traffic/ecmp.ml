@@ -23,8 +23,8 @@ type compiled = {
   volume : float;
 }
 
-let compile topo ~sources ~hops =
-  let n = Topo.n_switches topo in
+let compile u ~sources ~hops =
+  let n = Universe.n_switches u in
   let potential = Bitset.create n in
   List.iter (fun (s, v) -> if v > 0.0 then Bitset.add potential s) sources;
   let compile_hop h =
@@ -34,21 +34,21 @@ let compile topo ~sources ~hops =
     (* Fold the accept filter and the reachable-from-sources set into a
        static candidate circuit list: evaluation never scans the rest of
        the universe. *)
-    for j = 0 to Topo.n_circuits topo - 1 do
-      let c = Topo.circuit topo j in
+    for j = 0 to Universe.n_circuits u - 1 do
+      let c = Universe.circuit u j in
       let prev, next =
         match h.dir with
         | `Up -> (c.Circuit.lo, c.Circuit.hi)
         | `Down -> (c.Circuit.hi, c.Circuit.lo)
       in
-      if Bitset.mem potential prev && h.accept (Topo.switch topo next) then begin
+      if Bitset.mem potential prev && h.accept (Universe.switch u next) then begin
         candidates := (j, prev, next) :: !candidates;
         Bitset.add next_potential next
       end
     done;
     Bitset.iter
       (fun s ->
-        if h.skip (Topo.switch topo s) then begin
+        if h.skip (Universe.switch u s) then begin
           skips := s :: !skips;
           Bitset.add next_potential s
         end)
@@ -119,8 +119,8 @@ type scratch = {
   mutable useful : Bitset.t array;  (* stage index -> useful switches *)
 }
 
-let make_scratch topo =
-  let n = Topo.n_switches topo in
+let make_scratch u =
+  let n = Universe.n_switches u in
   {
     vol = Array.make n 0.0;
     nvol = Array.make n 0.0;
@@ -133,9 +133,10 @@ let make_scratch topo =
 
 type result = { delivered : float; stuck : float }
 
-let ensure_useful sc topo count =
+let ensure_useful sc count =
   if Array.length sc.useful < count then begin
-    let n = Topo.n_switches topo in
+    (* Scratch arrays are sized to the universe's switch count. *)
+    let n = Array.length sc.vol in
     sc.useful <- Array.init count (fun _ -> Bitset.create n)
   end
 
@@ -158,7 +159,7 @@ let useful_sweep topo c dst =
   done
 
 let compute_useful topo sc c =
-  ensure_useful sc topo (Array.length c.stages + 1);
+  ensure_useful sc (Array.length c.stages + 1);
   useful_sweep topo c sc.useful
 
 let evaluate ?(scale = 1.0) ?(split = `Equal) topo sc c ~loads =
@@ -306,8 +307,8 @@ type inc = {
   mutable valid : bool;
 }
 
-let make_inc topo c =
-  let n = Topo.n_switches topo in
+let make_inc u c =
+  let n = Universe.n_switches u in
   {
     ic = c;
     recs =
@@ -439,7 +440,7 @@ let evaluate_patch ?(scale = 1.0) ?(split = `Equal) topo sc st ~dirty ~loads
   let weighted = split = `Capacity_weighted in
   let c = st.ic in
   let n_stages = Array.length c.stages in
-  ensure_useful sc topo (n_stages + 1);
+  ensure_useful sc (n_stages + 1);
   let r_dirty =
     let rec lowest k =
       if k >= n_stages || dirty land (1 lsl k) <> 0 then k else lowest (k + 1)

@@ -31,11 +31,12 @@ type compiled
 (** A demand class compiled against a universe topology. *)
 
 val compile :
-  Topo.t -> sources:(int * float) list -> hops:hop list -> compiled
-(** [compile topo ~sources ~hops] precomputes, for every hop, the circuits
+  Universe.t -> sources:(int * float) list -> hops:hop list -> compiled
+(** [compile u ~sources ~hops] precomputes, for every hop, the circuits
     that volume starting at [sources] can possibly traverse, assuming every
-    element of the universe could be active.  [sources] pairs switch ids
-    with injected volume (Tbps). *)
+    element of the universe could be active.  Compilation reads only the
+    static structure, so it takes the shared {!Universe.t} directly.
+    [sources] pairs switch ids with injected volume (Tbps). *)
 
 val source_volume : compiled -> float
 (** Total volume injected by the compiled class. *)
@@ -64,7 +65,8 @@ type scratch
     usefulness marks).  One scratch may be shared by successive
     evaluations on topologies of the same shape, not by concurrent ones. *)
 
-val make_scratch : Topo.t -> scratch
+val make_scratch : Universe.t -> scratch
+(** Scratch sized to the universe's switch count; activity-independent. *)
 
 type result = {
   delivered : float;  (** Volume that reached the final stage. *)
@@ -110,7 +112,7 @@ type inc
 (** Persistent incremental state for one compiled class.  Owned by one
     checker: never share an [inc] across concurrent evaluators. *)
 
-val make_inc : Topo.t -> compiled -> inc
+val make_inc : Universe.t -> compiled -> inc
 
 val class_stuck : inc -> float
 (** Stuck volume of the last {!evaluate_rebuild}/{!evaluate_patch}. *)

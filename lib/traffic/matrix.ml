@@ -73,7 +73,7 @@ let max_utilization topo scratch classes ~loads =
   (!max_util, !stuck)
 
 let calibration_factor topo classes ~target_util =
-  let scratch = Ecmp.make_scratch topo in
+  let scratch = Ecmp.make_scratch (Topo.universe topo) in
   let loads = Array.make (Topo.n_circuits topo) 0.0 in
   let max_util, stuck = max_utilization topo scratch classes ~loads in
   if stuck > 1e-9 then

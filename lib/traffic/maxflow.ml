@@ -130,11 +130,12 @@ let class_feasible topo ~rsws_by_dc ~ebbs ?(utilization_bound = 1.0)
   Graph.max_flow g ~source ~sink >= d.Demand.volume -. 1e-6
 
 let ecmp_gap topo ~rsws_by_dc ~ebbs demands =
-  let scratch = Ecmp.make_scratch topo in
+  let u = Topo.universe topo in
+  let scratch = Ecmp.make_scratch u in
   let loads = Array.make (Topo.n_circuits topo) 0.0 in
   List.filter
     (fun d ->
-      let compiled = Routes.compile topo ~rsws_by_dc ~ebbs d in
+      let compiled = Routes.compile u ~rsws_by_dc ~ebbs d in
       Array.fill loads 0 (Array.length loads) 0.0;
       let r = Ecmp.evaluate topo scratch compiled ~loads in
       r.Ecmp.stuck > 1e-9 && class_feasible topo ~rsws_by_dc ~ebbs d)

@@ -18,7 +18,7 @@ val sources_for :
     over the member switches of the source endpoint. *)
 
 val compile :
-  Topo.t -> rsws_by_dc:int list array -> ebbs:int list -> Demand.t ->
+  Universe.t -> rsws_by_dc:int list array -> ebbs:int list -> Demand.t ->
   Ecmp.compiled
-(** [compile topo ~rsws_by_dc ~ebbs d] = [Ecmp.compile] of {!sources_for}
+(** [compile u ~rsws_by_dc ~ebbs d] = [Ecmp.compile] of {!sources_for}
     and {!hops_for}. *)

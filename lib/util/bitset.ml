@@ -46,6 +46,10 @@ let cardinal t =
 
 let copy t = { words = Bytes.copy t.words; n = t.n }
 
+let blit ~src ~dst =
+  if src.n <> dst.n then invalid_arg "Bitset.blit: capacity mismatch";
+  Bytes.blit src.words 0 dst.words 0 (Bytes.length src.words)
+
 let clear t = Bytes.fill t.words 0 (Bytes.length t.words) '\000'
 
 let fill t =

@@ -34,6 +34,11 @@ val cardinal : t -> int
 val copy : t -> t
 (** An independent clone. *)
 
+val blit : src:t -> dst:t -> unit
+(** Overwrite [dst]'s members with [src]'s.  The two sets must have the
+    same capacity — this is the O(n/8) restore primitive overlay
+    snapshots use.  Raises [Invalid_argument] on capacity mismatch. *)
+
 val clear : t -> unit
 (** Remove every element. *)
 

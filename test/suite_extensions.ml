@@ -22,10 +22,10 @@ let unequal_fixture () =
 let test_weighted_split () =
   let topo, r, c0, c1 = unequal_fixture () in
   let compiled =
-    Ecmp.compile topo ~sources:[ (r, 4.0) ]
+    Ecmp.compile (Topo.universe topo) ~sources:[ (r, 4.0) ]
       ~hops:[ Ecmp.hop `Up (role_is Switch.FSW) ]
   in
-  let scratch = Ecmp.make_scratch topo in
+  let scratch = Ecmp.make_scratch (Topo.universe topo) in
   let loads = Array.make (Topo.n_circuits topo) 0.0 in
   ignore (Ecmp.evaluate topo scratch compiled ~loads);
   Alcotest.check feq "plain ECMP ignores capacity" 2.0 loads.(c0);
@@ -39,10 +39,10 @@ let test_weighted_split () =
 let test_weighted_conservation () =
   let topo, r, _, _ = unequal_fixture () in
   let compiled =
-    Ecmp.compile topo ~sources:[ (r, 5.0) ]
+    Ecmp.compile (Topo.universe topo) ~sources:[ (r, 5.0) ]
       ~hops:[ Ecmp.hop `Up (role_is Switch.FSW) ]
   in
-  let scratch = Ecmp.make_scratch topo in
+  let scratch = Ecmp.make_scratch (Topo.universe topo) in
   let loads = Array.make (Topo.n_circuits topo) 0.0 in
   let result =
     Ecmp.evaluate ~split:`Capacity_weighted topo scratch compiled ~loads
@@ -79,10 +79,10 @@ let prop_weighted_conservation =
         (fun s -> if s <> r then Topo.set_switch_active topo s false)
         drains;
       let compiled =
-        Ecmp.compile topo ~sources:[ (r, 2.0) ]
+        Ecmp.compile (Topo.universe topo) ~sources:[ (r, 2.0) ]
           ~hops:[ Ecmp.hop `Up (role_is Switch.FSW) ]
       in
-      let scratch = Ecmp.make_scratch topo in
+      let scratch = Ecmp.make_scratch (Topo.universe topo) in
       let loads = Array.make (Topo.n_circuits topo) 0.0 in
       let res =
         Ecmp.evaluate ~split:`Capacity_weighted topo scratch compiled ~loads

@@ -125,7 +125,7 @@ let test_deps_index_sound () =
   let task = random_task 4 in
   let topo = Topo.copy task.Task.topo in
   let n_circuits = Topo.n_circuits topo in
-  let scratch = Ecmp.make_scratch topo in
+  let scratch = Ecmp.make_scratch (Topo.universe topo) in
   let eval_class (c, scale) =
     let loads = Array.make n_circuits 0.0 in
     let r = Ecmp.evaluate ~scale topo scratch c ~loads in

@@ -1,0 +1,365 @@
+(* Tests for the universe/overlay topology split: the immutable shared
+   Universe plus per-checker bitset overlays must be an invisible
+   refactor — same plans, costs, verdicts and cache counters — while the
+   new primitives (snapshot/restore, XOR-style move_to, compact-state
+   word lowering) behave exactly like the naive reference
+   implementations they replace. *)
+
+let cfg ~incremental ~jobs =
+  Planner.with_incremental incremental
+    (Planner.with_jobs jobs (Planner.with_budget (Some 60.0)))
+
+let random_params seed =
+  let g = Kutil.Prng.create ~seed in
+  {
+    (Gen.params_a ()) with
+    Gen.label = Printf.sprintf "ovl%d" seed;
+    dcs = 1 + Kutil.Prng.int g 2;
+    rsws_per_pod = 1 + Kutil.Prng.int g 2;
+    v1_grids = 1 + Kutil.Prng.int g 3;
+    v2_grids = 2 + Kutil.Prng.int g 3;
+    mesh_variants = 1 + Kutil.Prng.int g 2;
+    ssw_port_headroom = 1 + Kutil.Prng.int g 2;
+  }
+
+let random_task seed =
+  Task.of_scenario ~seed (Gen.build Gen.Hgrid_v1_to_v2 (random_params seed))
+
+let outcome_fingerprint = function
+  | Planner.Found p ->
+      Printf.sprintf "found %.9f [%s]" p.Plan.cost
+        (String.concat "," (List.map string_of_int p.Plan.blocks))
+  | Planner.Infeasible -> "infeasible"
+  | Planner.Timeout (Some p) -> Printf.sprintf "timeout %.9f" p.Plan.cost
+  | Planner.Timeout None -> "timeout"
+  | Planner.Unsupported why -> "unsupported: " ^ why
+
+let planners : (string * (Planner.config -> Task.t -> Planner.result)) list =
+  [
+    ("astar", fun config task -> Astar.plan ~config task);
+    ("dp", fun config task -> Dp.plan ~config task);
+    ("exhaustive", fun config task -> Exhaustive.plan ~config task);
+    ("greedy", fun config task -> Greedy.plan ~config task);
+  ]
+
+(* Everything observable about an overlay, as one comparable string. *)
+let overlay_fingerprint t =
+  let buf = Buffer.create 256 in
+  for i = 0 to Topo.n_switches t - 1 do
+    Buffer.add_char buf (if Topo.switch_active t i then 'S' else 's');
+    Buffer.add_string buf (string_of_int (Topo.usable_degree t i));
+    Buffer.add_char buf ';'
+  done;
+  for j = 0 to Topo.n_circuits t - 1 do
+    Buffer.add_char buf (if Topo.circuit_active t j then 'C' else 'c');
+    Buffer.add_char buf (if Topo.usable t j then 'U' else 'u')
+  done;
+  Printf.sprintf "%s|pv=%d|uc=%d|asw=%d|aci=%d" (Buffer.contents buf)
+    (Topo.port_violation_count t)
+    (Topo.usable_circuit_count t)
+    (Topo.active_switch_count t)
+    (Topo.active_circuit_count t)
+
+(* Naive reference for [Constraint.move_to]: rebuild the overlay for a
+   compact state from scratch by replaying the canonical block prefix of
+   every action type on a fresh copy. *)
+let reference_topo (task : Task.t) (v : Compact.t) =
+  let topo = Topo.copy task.Task.topo in
+  Array.iteri
+    (fun a blocks ->
+      for j = 0 to v.(a) - 1 do
+        let b = task.Task.blocks.(blocks.(j)) in
+        let active =
+          match b.Blocks.action.Action.op with
+          | Action.Drain -> false
+          | Action.Undrain -> true
+        in
+        Array.iter
+          (fun s -> Topo.set_switch_active topo s active)
+          b.Blocks.switches;
+        Array.iter
+          (fun c -> Topo.set_circuit_active topo c active)
+          b.Blocks.circuits
+      done)
+    task.Task.blocks_by_type;
+  topo
+
+(* ------------------------------------------------------------------ *)
+(* Physical sharing: every checker overlay points at the task's
+   universe — Constraint.create copies no static arrays. *)
+
+let test_universe_shared () =
+  let task = random_task 1 in
+  let ck1 = Constraint.create task and ck2 = Constraint.create task in
+  Alcotest.(check bool) "checker 1 shares the task universe" true
+    (Topo.universe (Constraint.overlay ck1) == Task.universe task);
+  Alcotest.(check bool) "checker 2 shares the task universe" true
+    (Topo.universe (Constraint.overlay ck2) == Task.universe task);
+  Alcotest.(check bool) "Topo.copy shares the universe" true
+    (Topo.universe (Topo.copy task.Task.topo) == Task.universe task);
+  Alcotest.(check bool) "static arrays are physically shared" true
+    (Topo.switches (Constraint.overlay ck1) == Topo.switches task.Task.topo
+    && Topo.circuits (Constraint.overlay ck1) == Topo.circuits task.Task.topo)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot/restore: a round trip through arbitrary toggles restores the
+   exact overlay, including derived degrees and counters, and a snapshot
+   can rewind a different overlay of the same universe. *)
+
+let test_snapshot_restore () =
+  let task = random_task 5 in
+  let topo = Topo.copy task.Task.topo in
+  let g = Kutil.Prng.create ~seed:42 in
+  let toggle t =
+    if Kutil.Prng.int g 2 = 0 then begin
+      let s = Kutil.Prng.int g (Topo.n_switches t) in
+      Topo.set_switch_active t s (Kutil.Prng.int g 2 = 0)
+    end
+    else begin
+      let c = Kutil.Prng.int g (Topo.n_circuits t) in
+      Topo.set_circuit_active t c (Kutil.Prng.int g 2 = 0)
+    end
+  in
+  for _ = 1 to 40 do
+    toggle topo
+  done;
+  let snap = Topo.snapshot topo in
+  let fp = overlay_fingerprint topo in
+  for _ = 1 to 40 do
+    toggle topo
+  done;
+  Topo.restore topo snap;
+  Alcotest.(check string) "restore rewinds the same overlay" fp
+    (overlay_fingerprint topo);
+  let other = Topo.copy task.Task.topo in
+  Topo.restore other snap;
+  Alcotest.(check string) "restore into a sibling overlay" fp
+    (overlay_fingerprint other)
+
+(* ------------------------------------------------------------------ *)
+(* move_to vs naive replay: after any sequence of jumps across the
+   compact lattice — forward steps and random rewinds — the checker's
+   overlay must equal the from-scratch replay of the target state. *)
+
+let test_move_to_matches_replay () =
+  List.iter
+    (fun seed ->
+      let task = random_task seed in
+      let ck = Constraint.create task in
+      let counts = task.Task.counts in
+      let n_types = Array.length counts in
+      let g = Kutil.Prng.create ~seed:(seed * 31) in
+      let origin = Compact.origin task.Task.actions in
+      let visited = ref [| origin |] in
+      let cur = ref origin in
+      for _ = 1 to 50 do
+        let next =
+          let jump = Kutil.Prng.int g 4 = 0 in
+          let avail = ref [] in
+          for a = n_types - 1 downto 0 do
+            if !cur.(a) < counts.(a) then avail := a :: !avail
+          done;
+          if jump || !avail = [] then
+            !visited.(Kutil.Prng.int g (Array.length !visited))
+          else
+            let picks = Array.of_list !avail in
+            Compact.succ !cur picks.(Kutil.Prng.int g (Array.length picks))
+        in
+        Constraint.move_to ck next;
+        cur := next;
+        visited := Array.append !visited [| next |];
+        Alcotest.(check string) "overlay equals replayed reference"
+          (overlay_fingerprint (reference_topo task next))
+          (overlay_fingerprint (Constraint.overlay ck))
+      done)
+    [ 2; 6 ]
+
+(* ------------------------------------------------------------------ *)
+(* Eager vs lazy checker creation is unobservable: verdicts and
+   summaries agree step by step. *)
+
+let test_eager_matches_lazy () =
+  let task = random_task 3 in
+  let lazy_ck = Constraint.create task in
+  let eager_ck = Constraint.create ~eager:true task in
+  let n = Array.length task.Task.blocks in
+  let g = Kutil.Prng.create ~seed:7 in
+  let applied = Array.make n false in
+  for _ = 1 to 2 * n do
+    let b = Kutil.Prng.int g n in
+    if applied.(b) then begin
+      Constraint.unapply_block lazy_ck b;
+      Constraint.unapply_block eager_ck b
+    end
+    else begin
+      Constraint.apply_block lazy_ck b;
+      Constraint.apply_block eager_ck b
+    end;
+    applied.(b) <- not applied.(b);
+    Alcotest.(check bool) "verdicts agree"
+      (Constraint.current_ok eager_ck)
+      (Constraint.current_ok lazy_ck);
+    let se = Constraint.evaluate_current eager_ck in
+    let sl = Constraint.evaluate_current lazy_ck in
+    Alcotest.check (Alcotest.float 1e-12) "max_util agrees"
+      se.Constraint.max_util sl.Constraint.max_util;
+    Alcotest.check (Alcotest.float 1e-12) "stuck agrees" se.Constraint.stuck
+      sl.Constraint.stuck
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Compact-state word lowering: the packed words set exactly the bits of
+   the canonical applied-block prefix, distinct states get distinct
+   keys (cache-key soundness), and blit_state_words matches state_words
+   without touching words past the count. *)
+
+let check_state_words (task : Task.t) =
+  let counts = task.Task.counts in
+  let n_types = Array.length counts in
+  let n_blocks = Array.length task.Task.blocks in
+  let expected_words = max 1 ((n_blocks + 62) / 63) in
+  let lattice =
+    Array.fold_left (fun acc c -> acc * (c + 1)) 1 counts
+  in
+  Alcotest.(check bool) "lattice small enough to enumerate" true
+    (lattice <= 200_000);
+  let seen = Hashtbl.create (2 * lattice) in
+  let v = Array.make n_types 0 in
+  let applied = Array.make n_blocks false in
+  let rec go i =
+    if i = n_types then begin
+      let words = Task.state_words task v in
+      if Array.length words <> expected_words then
+        Alcotest.failf "state_words length %d, expected %d"
+          (Array.length words) expected_words;
+      Array.fill applied 0 n_blocks false;
+      Array.iteri
+        (fun a blocks ->
+          for j = 0 to v.(a) - 1 do
+            applied.(blocks.(j)) <- true
+          done)
+        task.Task.blocks_by_type;
+      for b = 0 to n_blocks - 1 do
+        let bit = words.(b / 63) land (1 lsl (b mod 63)) <> 0 in
+        if bit <> applied.(b) then
+          Alcotest.failf "bit %d is %b, expected %b" b bit applied.(b)
+      done;
+      let key =
+        String.concat "," (Array.to_list (Array.map string_of_int words))
+      in
+      if Hashtbl.mem seen key then
+        Alcotest.failf "two compact states lower to one key %s" key;
+      Hashtbl.add seen key ();
+      let into = Array.make (expected_words + 1) min_int in
+      Task.blit_state_words task v ~into;
+      for w = 0 to expected_words - 1 do
+        if into.(w) <> words.(w) then Alcotest.failf "blit word %d differs" w
+      done;
+      if into.(expected_words) <> min_int then
+        Alcotest.fail "blit wrote past the word count"
+    end
+    else
+      for k = 0 to counts.(i) do
+        v.(i) <- k;
+        go (i + 1)
+      done
+  in
+  go 0
+
+let test_state_words () =
+  check_state_words (random_task 1);
+  check_state_words (Task.of_scenario (Gen.scenario_of_label "A"))
+
+(* ------------------------------------------------------------------ *)
+(* Cache counters are part of the pinned behaviour: at jobs=1 the
+   full-replay and incremental configurations must run the same checks
+   and hit the cache the same number of times, for every planner, in
+   addition to producing identical outcomes. *)
+
+let check_counters label task =
+  List.iter
+    (fun (name, plan) ->
+      let full = plan (cfg ~incremental:false ~jobs:1) task in
+      let inc = plan (cfg ~incremental:true ~jobs:1) task in
+      Alcotest.(check string)
+        (Printf.sprintf "%s: %s outcome" label name)
+        (outcome_fingerprint full.Planner.outcome)
+        (outcome_fingerprint inc.Planner.outcome);
+      Alcotest.(check int)
+        (Printf.sprintf "%s: %s sat_checks" label name)
+        full.Planner.stats.Planner.sat_checks
+        inc.Planner.stats.Planner.sat_checks;
+      Alcotest.(check int)
+        (Printf.sprintf "%s: %s cache_hits" label name)
+        full.Planner.stats.Planner.cache_hits
+        inc.Planner.stats.Planner.cache_hits;
+      List.iter
+        (fun jobs ->
+          let fanned = plan (cfg ~incremental:true ~jobs) task in
+          Alcotest.(check string)
+            (Printf.sprintf "%s: %s jobs=%d outcome" label name jobs)
+            (outcome_fingerprint full.Planner.outcome)
+            (outcome_fingerprint fanned.Planner.outcome))
+        [ 4 ])
+    planners
+
+let test_counters_random () =
+  List.iter
+    (fun seed -> check_counters (Printf.sprintf "seed %d" seed)
+        (random_task seed))
+    [ 2; 7 ]
+
+let test_counters_label_a () =
+  check_counters "topology A" (Task.of_scenario (Gen.scenario_of_label "A"))
+
+(* ------------------------------------------------------------------ *)
+(* Engine check counter: after a batch drains, checks_performed equals
+   the cache misses (each miss is exactly one full evaluation), and a
+   repeat of the same batch is answered by the cache alone.  Exercises
+   the atomic publication path with a real multi-domain pool. *)
+
+let test_engine_counter () =
+  let task = random_task 2 in
+  let e = Sat_engine.create ~jobs:4 task in
+  let origin = Compact.origin task.Task.actions in
+  let n_types = Array.length task.Task.counts in
+  let cands =
+    Array.init n_types (fun a ->
+        {
+          Sat_engine.last_type = Some a;
+          last_block = Some task.Task.blocks_by_type.(a).(0);
+          v = Compact.succ origin a;
+        })
+  in
+  let (_ : bool array) = Sat_engine.check_batch e cands in
+  Alcotest.(check int) "checks_performed = cache misses"
+    (Sat_engine.cache_misses e)
+    (Sat_engine.checks_performed e);
+  let before = Sat_engine.checks_performed e in
+  let (_ : bool array) = Sat_engine.check_batch e cands in
+  Alcotest.(check int) "repeat batch hits the cache" before
+    (Sat_engine.checks_performed e);
+  Alcotest.(check int) "no new misses" before (Sat_engine.cache_misses e);
+  Alcotest.(check int) "hits recorded" (Array.length cands)
+    (Sat_engine.cache_hits e);
+  Sat_engine.shutdown e
+
+let suite =
+  ( "overlay",
+    [
+      Alcotest.test_case "universe physically shared" `Quick
+        test_universe_shared;
+      Alcotest.test_case "snapshot/restore round trip" `Quick
+        test_snapshot_restore;
+      Alcotest.test_case "move_to matches naive replay" `Quick
+        test_move_to_matches_replay;
+      Alcotest.test_case "eager creation unobservable" `Quick
+        test_eager_matches_lazy;
+      Alcotest.test_case "state-word lowering sound" `Quick test_state_words;
+      Alcotest.test_case "cache counters pinned (random)" `Slow
+        test_counters_random;
+      Alcotest.test_case "cache counters pinned (topology A)" `Quick
+        test_counters_label_a;
+      Alcotest.test_case "engine counter consistent" `Quick
+        test_engine_counter;
+    ] )

@@ -15,7 +15,7 @@ let fixture () =
 
 let test_equivalent_switches_grouped () =
   let topo, _, _, u0, u1, u2 = fixture () in
-  let blocks = Symmetry.blocks topo ~scope:[ u0; u1; u2 ] in
+  let blocks = Symmetry.blocks (Topo.universe topo) ~scope:[ u0; u1; u2 ] in
   Alcotest.(check int) "two blocks" 2 (List.length blocks);
   let members = List.map (fun b -> b.Symmetry.members) blocks in
   Alcotest.(check (list (list int))) "u0,u1 together; u2 alone"
@@ -24,7 +24,7 @@ let test_equivalent_switches_grouped () =
 
 let test_role_separates () =
   let topo, d0, d1, u0, u1, u2 = fixture () in
-  let blocks = Symmetry.blocks topo ~scope:[ d0; d1; u0; u1; u2 ] in
+  let blocks = Symmetry.blocks (Topo.universe topo) ~scope:[ d0; d1; u0; u1; u2 ] in
   List.iter
     (fun (blk : Symmetry.block) ->
       let roles =
@@ -42,7 +42,7 @@ let test_capacity_separates () =
   ignore (Builder.add_circuit b ~lo:d ~hi:u0 ~capacity:1.0 ());
   ignore (Builder.add_circuit b ~lo:d ~hi:u1 ~capacity:2.0 ());
   let topo = Builder.freeze b in
-  let blocks = Symmetry.blocks topo ~scope:[ u0; u1 ] in
+  let blocks = Symmetry.blocks (Topo.universe topo) ~scope:[ u0; u1 ] in
   Alcotest.(check int) "different capacities split" 2 (List.length blocks)
 
 let test_generation_separates () =
@@ -60,12 +60,12 @@ let test_generation_separates () =
   ignore (Builder.add_circuit b ~lo:d ~hi:u1 ~capacity:1.0 ());
   let topo = Builder.freeze b in
   Alcotest.(check int) "generations split" 2
-    (List.length (Symmetry.blocks topo ~scope:[ u0; u1 ]))
+    (List.length (Symmetry.blocks (Topo.universe topo) ~scope:[ u0; u1 ]))
 
 let test_partition () =
   let sc = Gen.scenario_of_label "A" in
   let scope = sc.Gen.drain_switches @ sc.Gen.undrain_switches in
-  let blocks = Symmetry.blocks sc.Gen.topo ~scope in
+  let blocks = Symmetry.blocks (Topo.universe sc.Gen.topo) ~scope in
   let members = List.concat_map (fun b -> b.Symmetry.members) blocks in
   Alcotest.(check (list int)) "blocks partition the scope"
     (List.sort compare scope)
@@ -77,7 +77,7 @@ let test_small_blocks_on_production_topos () =
      allow the per-grid FAUU count as the bound. *)
   let sc = Gen.scenario_of_label "B" in
   let scope = sc.Gen.drain_switches @ sc.Gen.undrain_switches in
-  let blocks = Symmetry.blocks sc.Gen.topo ~scope in
+  let blocks = Symmetry.blocks (Topo.universe sc.Gen.topo) ~scope in
   let p = sc.Gen.layout.Gen.params in
   let bound = max p.Gen.v1_fauu_per_grid p.Gen.v2_fauu_per_grid in
   Alcotest.(check bool) "blocks stay small" true

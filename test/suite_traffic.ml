@@ -49,14 +49,14 @@ let ecmp_fixture () =
 let role_is r (sw : Switch.t) = sw.Switch.role = r
 
 let two_hop_compiled topo sources =
-  Ecmp.compile topo ~sources
+  Ecmp.compile (Topo.universe topo) ~sources
     ~hops:
       [ Ecmp.hop `Up (role_is Switch.FSW); Ecmp.hop `Up (role_is Switch.SSW) ]
 
 let test_ecmp_equal_split () =
   let topo, (r0, _, _, _, _), rf, fs = ecmp_fixture () in
   let c = two_hop_compiled topo [ (r0, 4.0) ] in
-  let scratch = Ecmp.make_scratch topo in
+  let scratch = Ecmp.make_scratch (Topo.universe topo) in
   let loads = Array.make (Topo.n_circuits topo) 0.0 in
   let result = Ecmp.evaluate topo scratch c ~loads in
   Alcotest.check feq "all delivered" 4.0 result.Ecmp.delivered;
@@ -72,7 +72,7 @@ let test_ecmp_conservation_repeated () =
   let topo, (r0, r1, _, _, _), _, _ = ecmp_fixture () in
   let c = two_hop_compiled topo [ (r0, 1.0); (r1, 3.0) ] in
   Alcotest.check feq "source volume" 4.0 (Ecmp.source_volume c);
-  let scratch = Ecmp.make_scratch topo in
+  let scratch = Ecmp.make_scratch (Topo.universe topo) in
   let loads = Array.make (Topo.n_circuits topo) 0.0 in
   (* Same scratch reused across evaluations must give identical results. *)
   let r1 = Ecmp.evaluate topo scratch c ~loads in
@@ -86,7 +86,7 @@ let test_ecmp_reroutes_around_drain () =
   let topo, (r0, _, f0, _, _), rf, _ = ecmp_fixture () in
   let c = two_hop_compiled topo [ (r0, 4.0) ] in
   Topo.set_switch_active topo f0 false;
-  let scratch = Ecmp.make_scratch topo in
+  let scratch = Ecmp.make_scratch (Topo.universe topo) in
   let loads = Array.make (Topo.n_circuits topo) 0.0 in
   let result = Ecmp.evaluate topo scratch c ~loads in
   Alcotest.check feq "still delivered" 4.0 result.Ecmp.delivered;
@@ -100,7 +100,7 @@ let test_ecmp_usefulness_avoids_dead_end () =
   let f0_s0 = List.nth fs 0 in
   Topo.set_circuit_active topo f0_s0 false;
   let c = two_hop_compiled topo [ (r0, 4.0) ] in
-  let scratch = Ecmp.make_scratch topo in
+  let scratch = Ecmp.make_scratch (Topo.universe topo) in
   let loads = Array.make (Topo.n_circuits topo) 0.0 in
   let result = Ecmp.evaluate topo scratch c ~loads in
   Alcotest.check feq "delivered via f1 only" 4.0 result.Ecmp.delivered;
@@ -112,7 +112,7 @@ let test_ecmp_stuck_when_cut () =
   Topo.set_switch_active topo f0 false;
   Topo.set_switch_active topo f1 false;
   let c = two_hop_compiled topo [ (r0, 4.0) ] in
-  let scratch = Ecmp.make_scratch topo in
+  let scratch = Ecmp.make_scratch (Topo.universe topo) in
   let loads = Array.make (Topo.n_circuits topo) 0.0 in
   let result = Ecmp.evaluate topo scratch c ~loads in
   Alcotest.check feq "all stuck" 4.0 result.Ecmp.stuck;
@@ -121,7 +121,7 @@ let test_ecmp_stuck_when_cut () =
 let test_ecmp_scale_linearity () =
   let topo, (r0, _, _, _, _), _, fs = ecmp_fixture () in
   let c = two_hop_compiled topo [ (r0, 4.0) ] in
-  let scratch = Ecmp.make_scratch topo in
+  let scratch = Ecmp.make_scratch (Topo.universe topo) in
   let loads1 = Array.make (Topo.n_circuits topo) 0.0 in
   ignore (Ecmp.evaluate topo scratch c ~loads:loads1);
   let loads2 = Array.make (Topo.n_circuits topo) 0.0 in
@@ -144,7 +144,7 @@ let test_ecmp_weighted_split () =
   let f1_s = Builder.add_circuit b ~lo:f1 ~hi:s ~capacity:4.0 () in
   let topo = Builder.freeze b in
   let c = two_hop_compiled topo [ (r, 4.0) ] in
-  let scratch = Ecmp.make_scratch topo in
+  let scratch = Ecmp.make_scratch (Topo.universe topo) in
   let loads = Array.make (Topo.n_circuits topo) 0.0 in
   let result = Ecmp.evaluate ~split:`Capacity_weighted topo scratch c ~loads in
   Alcotest.check feq "all delivered" 4.0 result.Ecmp.delivered;
@@ -170,11 +170,11 @@ let test_ecmp_weighted_skip_carries () =
   ignore (Builder.add_circuit b ~lo:f ~hi:s ~capacity:5.0 ());
   let topo = Builder.freeze b in
   let c =
-    Ecmp.compile topo
+    Ecmp.compile (Topo.universe topo)
       ~sources:[ (f, 1.0); (s, 2.0) ]
       ~hops:[ Ecmp.hop `Up ~skip:(role_is Switch.SSW) (role_is Switch.SSW) ]
   in
-  let scratch = Ecmp.make_scratch topo in
+  let scratch = Ecmp.make_scratch (Topo.universe topo) in
   let loads = Array.make (Topo.n_circuits topo) 0.0 in
   let result = Ecmp.evaluate ~split:`Capacity_weighted topo scratch c ~loads in
   Alcotest.check feq "both delivered" 3.0 result.Ecmp.delivered;
@@ -188,11 +188,11 @@ let test_ecmp_skip_carries () =
   ignore (Builder.add_circuit b ~lo:f ~hi:s ~capacity:1.0 ());
   let topo = Builder.freeze b in
   let c =
-    Ecmp.compile topo
+    Ecmp.compile (Topo.universe topo)
       ~sources:[ (f, 1.0); (s, 1.0) ]
       ~hops:[ Ecmp.hop `Up ~skip:(role_is Switch.SSW) (role_is Switch.SSW) ]
   in
-  let scratch = Ecmp.make_scratch topo in
+  let scratch = Ecmp.make_scratch (Topo.universe topo) in
   let loads = Array.make (Topo.n_circuits topo) 0.0 in
   let result = Ecmp.evaluate topo scratch c ~loads in
   Alcotest.check feq "both delivered" 2.0 result.Ecmp.delivered;
@@ -209,7 +209,7 @@ let prop_conservation =
       Topo.set_switch_active topo r0 true;
       Topo.set_switch_active topo r1 true;
       let c = two_hop_compiled topo [ (r0, 1.0); (r1, 2.0) ] in
-      let scratch = Ecmp.make_scratch topo in
+      let scratch = Ecmp.make_scratch (Topo.universe topo) in
       let loads = Array.make (Topo.n_circuits topo) 0.0 in
       let r = Ecmp.evaluate topo scratch c ~loads in
       Float.abs (r.Ecmp.delivered +. r.Ecmp.stuck -. 3.0) < 1e-9
@@ -271,12 +271,12 @@ let test_end_to_end_delivery () =
   let prng = Kutil.Prng.create ~seed:1 in
   let demands = Matrix.generate ~prng ~dcs:sc.Gen.layout.Gen.params.Gen.dcs () in
   let topo = sc.Gen.topo in
-  let scratch = Ecmp.make_scratch topo in
+  let scratch = Ecmp.make_scratch (Topo.universe topo) in
   let loads = Array.make (Topo.n_circuits topo) 0.0 in
   List.iter
     (fun d ->
       let c =
-        Routes.compile topo ~rsws_by_dc:sc.Gen.layout.Gen.rsws_by_dc
+        Routes.compile (Topo.universe topo) ~rsws_by_dc:sc.Gen.layout.Gen.rsws_by_dc
           ~ebbs:sc.Gen.layout.Gen.ebbs d
       in
       let r = Ecmp.evaluate topo scratch c ~loads in
