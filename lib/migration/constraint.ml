@@ -70,14 +70,15 @@ let env_enabled =
     | Some ("0" | "false" | "off" | "no") -> false
     | _ -> true)
 
-let make_inc (task : Task.t) =
-  let u = Task.universe task in
-  let n_circuits = Universe.n_circuits u in
-  let class_cost =
-    Array.map
-      (fun (c, _) -> float_of_int (Ecmp.stage_circuit_count c))
-      task.Task.compiled
-  in
+let lowest_bit m =
+  let rec go k = if m land (1 lsl k) <> 0 || k >= 62 then k else go (k + 1) in
+  go 0
+
+(* Candidate-count cost model shared by the per-patch fallback decision
+   and the per-task profitability guard: a full evaluation visits every
+   stage candidate of every class ([full_cost]); a patched class re-runs
+   the candidates from its lowest dirty stage on ([suffix_cost]). *)
+let cost_model (task : Task.t) =
   let suffix_cost =
     Array.map
       (fun (c, _) ->
@@ -90,6 +91,52 @@ let make_inc (task : Task.t) =
         suffix)
       task.Task.compiled
   in
+  let full_cost =
+    Array.fold_left
+      (fun acc (c, _) -> acc +. float_of_int (Ecmp.stage_circuit_count c))
+      0.0 task.Task.compiled
+  in
+  (suffix_cost, full_cost)
+
+(* Below this many stage candidates a full evaluation is already so cheap
+   that the delta layer's bookkeeping (pending queues, dirty marking,
+   recorded stages) costs more than it saves. *)
+let min_full_cost = 1024.0
+
+(* Structural profitability of the delta layer for this task: the mean
+   one-block delta estimate over all blocks, against the full-evaluation
+   cost.  Planners toggle one block per step, so this is the estimate the
+   per-patch fallback test will typically see; when it already exceeds
+   the fallback threshold, the "incremental" checker would fall back to
+   full rebuilds on most steps while still paying the delta bookkeeping —
+   measurably slower than the plain full path (HGRID A/B/C regress to
+   0.85–0.96x).  Such tasks skip the delta layer entirely.  The margin is
+   wide in practice: one-block ratios are 0.76–0.92 on HGRID A/B/C
+   versus 0.33–0.44 on the SSW-forklift and DMAG migrations, where the
+   delta layer wins 1.8–2.5x. *)
+let delta_profitable (task : Task.t) =
+  let suffix_cost, full_cost = cost_model task in
+  full_cost >= min_full_cost
+  &&
+  let n_blocks = Array.length task.Task.blocks in
+  n_blocks > 0
+  &&
+  let total = ref 0.0 in
+  Array.iter
+    (fun dep ->
+      Array.iter
+        (fun (d, m) ->
+          let suffix = suffix_cost.(d) in
+          let r = min (lowest_bit m) (Array.length suffix - 1) in
+          total := !total +. suffix.(r))
+        dep)
+    task.Task.deps;
+  !total /. float_of_int n_blocks < fallback_fraction *. full_cost
+
+let make_inc (task : Task.t) =
+  let u = Task.universe task in
+  let n_circuits = Universe.n_circuits u in
+  let suffix_cost, full_cost = cost_model task in
   {
     classes = Array.map (fun (c, _) -> Ecmp.make_inc u c) task.Task.compiled;
     total_stuck = 0.0;
@@ -103,7 +150,7 @@ let make_inc (task : Task.t) =
     dirty_list = Array.make 256 0;
     dirty_len = 0;
     suffix_cost;
-    full_cost = Array.fold_left ( +. ) 0.0 class_cost;
+    full_cost;
     patches_left = patch_interval;
   }
 
@@ -115,7 +162,10 @@ let eval_state ck =
         {
           loads = Array.make (Topo.n_circuits ck.topo) 0.0;
           scratch = Ecmp.make_scratch (Topo.universe ck.topo);
-          inc = (if ck.incremental then Some (make_inc ck.task) else None);
+          inc =
+            (if ck.incremental && delta_profitable ck.task then
+               Some (make_inc ck.task)
+             else None);
         }
       in
       ck.eval <- Some es;
@@ -387,10 +437,6 @@ let recheck_dirty ck es st =
     Bitset.remove st.dirty j
   done;
   st.dirty_len <- 0
-
-let lowest_bit m =
-  let rec go k = if m land (1 lsl k) <> 0 || k >= 62 then k else go (k + 1) in
-  go 0
 
 let eval_incremental ck es st =
   if (not st.loads_valid) || st.patches_left <= 0 then refresh ck es st

@@ -40,12 +40,29 @@ val create : ?incremental:bool -> ?eager:bool -> Task.t -> t
     so several checkers never interfere yet share the universe
     physically.  [incremental] (default [true]) enables the delta demand
     evaluation; setting the environment variable [KLOTSKI_INCREMENTAL=0]
-    forces it off globally (escape hatch).  [eager] (default [false])
+    forces it off globally (escape hatch).  Even when enabled, the delta
+    layer is only instantiated for tasks where it can pay off: when the
+    cost model says a typical one-block delta already approaches a full
+    evaluation (so patches would mostly fall back to rebuilds while
+    still paying the delta bookkeeping), the checker silently uses the
+    plain full evaluation, which is never slower.  [eager] (default [false])
     also allocates the demand-evaluation state up front instead of on
     first use — the pre-overlay creation cost, kept for benchmarks. *)
 
 val incremental_active : t -> bool
-(** Whether this checker delta-evaluates demands. *)
+(** Whether delta demand evaluation is requested and enabled for this
+    checker (the [incremental] flag gated by [KLOTSKI_INCREMENTAL]).
+    The checker may still evaluate fully when the cost model rules the
+    delta layer out for the task — that choice is internal and only
+    ever makes checks faster. *)
+
+val delta_profitable : Task.t -> bool
+(** The cost-model decision behind that internal choice: [true] when a
+    typical one-block delta is estimated to cost well under a full
+    evaluation, so an incremental checker for [task] will actually
+    instantiate the delta layer.  When [false], checkers created with
+    [~incremental:true] run the very same full-evaluation code as
+    [~incremental:false] ones.  Pure — depends only on the task. *)
 
 val move_to : t -> Compact.t -> unit
 (** Reconfigure the private topology to the given compact state. *)

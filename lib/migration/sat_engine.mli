@@ -37,9 +37,14 @@ val check : t -> ?last_type:int -> ?last_block:int -> Compact.t -> bool
 
 val check_batch : t -> candidate array -> bool array
 (** Check a batch of candidates, fanning the uncached evaluations out
-    over the pool; [result.(i)] is candidate [i]'s verdict.  Callers
-    should not repeat a (state, last type) pair within one batch — the
-    planners never do, since distinct successors have distinct states. *)
+    over the pool; [result.(i)] is candidate [i]'s verdict.  Repeating a
+    (state, last type) pair within one batch is allowed but wasteful:
+    two workers may then evaluate the same key concurrently (both reach
+    the same deterministic verdict; the cache keeps one).  A*'s
+    speculative rounds can emit such duplicates when two frontier
+    entries share a state, which is also why {!checks_performed} and
+    {!cache_hits} may drift slightly across job counts at [jobs > 1] —
+    verdicts, plans and costs never do. *)
 
 val checks_performed : t -> int
 (** Full (uncached) constraint evaluations, summed over workers.  Each

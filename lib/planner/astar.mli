@@ -14,11 +14,25 @@
 val name : string
 (** ["Klotski-A*"] *)
 
-val plan : ?config:Planner.config -> ?dedup:bool -> Task.t -> Planner.result
+val plan :
+  ?config:Planner.config ->
+  ?dedup:bool ->
+  ?spec_width:int ->
+  Task.t ->
+  Planner.result
 (** [dedup] (default [true]) controls the compact-representation state
     table.  [~dedup:false] together with [use_cache = false] in the config
     is the "Klotski w/o ESC" ablation of §6.4: without the
     ordering-agnostic representation there is nothing to key equivalent
     states by, so the search degenerates to best-first over the
     action-sequence tree and every generated state pays a full
-    satisfiability check. *)
+    satisfiability check.
+
+    [spec_width] overrides the speculative frontier round width (how many
+    frontier entries are popped and batch-checked together).  By default
+    it is [2 * min jobs cores] when both the configured job count and the
+    machine's core count exceed 1, and [1] otherwise — speculation only
+    pays when idle hardware parallelism can absorb the wasted checks.
+    Any width yields bit-identical plans, costs and expansion counters;
+    widths above 1 may drift the cache-hit/check counters slightly.
+    Raises [Invalid_argument] when [spec_width < 1]. *)

@@ -51,49 +51,57 @@ let plan ?(config = Planner.default_config) (task : Task.t) =
      whole layer frontier is satisfiability-checked as one batch — every
      (V', last type) pair of a layer is distinct, so the batch carries no
      duplicate cache keys and parallel evaluation matches the sequential
-     interleaving exactly. *)
+     interleaving exactly.  The wave is gathered into counted flat arrays
+     (one predecessor-cell lookup per frontier cell, no interim lists) so
+     the per-layer cost is the checks, not the plumbing around them. *)
   Fun.protect ~finally:(fun () -> Sat_engine.shutdown engine) (fun () ->
   (try
+     let dummy_cand =
+       { Sat_engine.last_type = None; last_block = None; v = [||] }
+     in
      for t = 0 to total - 1 do
        if Budget.expired budget then begin
          timeout := true;
          raise Exit
        end;
        let frontier = Array.of_list layers.(t) in
+       let n_front = Array.length frontier in
        (* Candidates in the sequential visiting order: frontier cells in
           layer order, successor types ascending within a cell. *)
-       let cands = ref [] in
+       let cand_sat = Array.make (max 1 (n_front * n_types)) dummy_cand in
+       let cand_type = Array.make (max 1 (n_front * n_types)) 0 in
+       let cand_cell = Array.make (max 1 (n_front * n_types)) origin_cell in
+       let nc = ref 0 in
        Array.iter
          (fun v ->
+           let cell = Vec_key.Table.find cells v in
            for a = 0 to n_types - 1 do
-             if v.(a) < counts.(a) then
-               cands :=
-                 ( v,
-                   a,
-                   {
-                     Sat_engine.last_type = Some a;
-                     last_block = Some task.Task.blocks_by_type.(a).(v.(a));
-                     v = Compact.succ v a;
-                   } )
-                 :: !cands
+             if v.(a) < counts.(a) then begin
+               cand_type.(!nc) <- a;
+               cand_cell.(!nc) <- cell;
+               cand_sat.(!nc) <-
+                 {
+                   Sat_engine.last_type = Some a;
+                   last_block = Some task.Task.blocks_by_type.(a).(v.(a));
+                   v = Compact.succ v a;
+                 };
+               incr nc
+             end
            done)
          frontier;
-       let cands = Array.of_list (List.rev !cands) in
-       generated := !generated + Array.length cands;
-       let oks =
-         Sat_engine.check_batch engine
-           (Array.map (fun (_, _, c) -> c) cands)
-       in
-       expanded := !expanded + Array.length frontier;
-       Array.iteri
-         (fun i (v, a, c) ->
+       let nc = !nc in
+       generated := !generated + nc;
+       let oks = Sat_engine.check_batch engine (Array.sub cand_sat 0 nc) in
+       expanded := !expanded + n_front;
+       for i = 0 to nc - 1 do
            if Budget.expired budget then begin
              timeout := true;
              raise Exit
            end;
            if oks.(i) then begin
-             let cell = Vec_key.Table.find cells v in
-             let v' = c.Sat_engine.v in
+             let cell = cand_cell.(i) in
+             let a = cand_type.(i) in
+             let v' = cand_sat.(i).Sat_engine.v in
              let cell' =
                match Vec_key.Table.find_opt cells v' with
                | Some c -> c
@@ -119,8 +127,8 @@ let plan ?(config = Planner.default_config) (task : Task.t) =
                  end
                end
              done
-           end)
-         cands
+           end
+       done
      done
    with Exit -> ()));
   if !timeout then

@@ -70,6 +70,71 @@ let test_empty_and_singleton () =
       Alcotest.(check (array int)) "singleton" [| 7 |]
         (Pool.map pool ~worker:(fun _ x -> x) [| 7 |]))
 
+let test_map_after_shutdown_raises () =
+  (* Both dispatch paths must refuse a dead pool: the trivial inline path
+     (tiny batch) used to silently run on the caller. *)
+  let pool = Pool.create ~jobs:3 in
+  Pool.shutdown pool;
+  Alcotest.check_raises "small batch raises"
+    (Invalid_argument "Domain_pool.map: pool is shut down") (fun () ->
+      ignore (Pool.map pool ~worker:(fun _ x -> x) [| 1 |]));
+  Alcotest.check_raises "large batch raises"
+    (Invalid_argument "Domain_pool.map: pool is shut down") (fun () ->
+      ignore (Pool.map pool ~worker:(fun _ x -> x) (Array.init 500 Fun.id)));
+  let seq = Pool.create ~jobs:1 in
+  Pool.shutdown seq;
+  Alcotest.check_raises "jobs=1 pool raises too"
+    (Invalid_argument "Domain_pool.map: pool is shut down") (fun () ->
+      ignore (Pool.map seq ~worker:(fun _ x -> x) [| 1; 2 |]))
+
+let test_shutdown_while_idle () =
+  (* Spawned workers parked on the condition variable must wake and join
+     immediately, with no batch ever dispatched. *)
+  for _ = 1 to 10 do
+    let pool = Pool.create ~jobs:4 in
+    Pool.shutdown pool
+  done;
+  Alcotest.(check pass) "no hang" () ()
+
+let test_forced_dispatch_chunked () =
+  (* [set_inline_max 0] pushes every multi-item batch through the worker
+     epoch, covering the chunked cursor on batches much larger (and much
+     smaller) than the chunk size. *)
+  Pool.with_pool ~jobs:4 (fun pool ->
+      Pool.set_inline_max pool 0;
+      List.iter
+        (fun n ->
+          let items = Array.init n (fun i -> i) in
+          let out = Pool.map pool ~worker:(fun _ x -> x * 3) items in
+          Alcotest.(check (array int))
+            (Printf.sprintf "n=%d in order" n)
+            (Array.map (fun x -> x * 3) items)
+            out)
+        [ 2; 3; 7; 64; 1000; 10_000 ])
+
+let test_exception_mid_batch_forced () =
+  (* An item exception on the dispatched path: one failure surfaces, the
+     remaining chunks drain, and the pool survives. *)
+  Pool.with_pool ~jobs:4 (fun pool ->
+      Pool.set_inline_max pool 0;
+      let items = Array.init 1000 (fun i -> i) in
+      (match
+         Pool.map pool
+           ~worker:(fun _ x -> if x = 500 then raise (Boom x) else x)
+           items
+       with
+      | _ -> Alcotest.fail "expected the worker exception to propagate"
+      | exception Boom 500 -> ());
+      let out = Pool.map pool ~worker:(fun _ x -> x + 1) items in
+      Alcotest.(check int) "usable after mid-batch failure" 1000
+        (Array.fold_left (fun acc x -> acc + (x land 1)) 500 out))
+
+let test_inline_max_validation () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      Alcotest.check_raises "negative rejected"
+        (Invalid_argument "Domain_pool.set_inline_max: negative") (fun () ->
+          Pool.set_inline_max pool (-1)))
+
 let test_create_validation () =
   Alcotest.check_raises "jobs 0 rejected"
     (Invalid_argument "Domain_pool.create: jobs must be >= 1") (fun () ->
@@ -96,4 +161,13 @@ let suite =
         test_empty_and_singleton;
       Alcotest.test_case "creation validation" `Quick test_create_validation;
       Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
+      Alcotest.test_case "map after shutdown raises (both paths)" `Quick
+        test_map_after_shutdown_raises;
+      Alcotest.test_case "shutdown while idle" `Quick test_shutdown_while_idle;
+      Alcotest.test_case "forced dispatch, chunked cursor" `Quick
+        test_forced_dispatch_chunked;
+      Alcotest.test_case "exception mid-batch (dispatched)" `Quick
+        test_exception_mid_batch_forced;
+      Alcotest.test_case "set_inline_max validation" `Quick
+        test_inline_max_validation;
     ] )

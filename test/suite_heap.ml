@@ -53,6 +53,69 @@ let test_fold_unordered () =
   Alcotest.(check int) "fold sum" 12 sum;
   Alcotest.(check int) "fold preserves heap" 3 (Heap.length h)
 
+(* Regression: [pop] used to leave the popped (or a shifted) element
+   behind in the vacated [data.(size)] slot, pinning it — and everything
+   it reaches, e.g. an A* entry's whole rev_types chain — until a future
+   push happened to overwrite the slot.  A drained heap must not keep any
+   popped payload alive. *)
+let test_pop_releases_payloads () =
+  let h = Heap.create ~compare:(fun (a, _) (b, _) -> Int.compare a b) in
+  let n = 5 in
+  let w = Weak.create n in
+  (* Build and drain in helper functions so no local variable keeps a
+     payload reachable from the stack during the final GC. *)
+  let fill () =
+    for i = 0 to n - 1 do
+      Heap.push h (i, Array.make 64 i)
+    done
+  in
+  let drain () =
+    for k = 0 to n - 1 do
+      match Heap.pop h with
+      | Some (i, payload) ->
+          Alcotest.(check int) "sorted drain" k i;
+          Weak.set w k (Some payload)
+      | None -> Alcotest.fail "heap drained early"
+    done
+  in
+  fill ();
+  drain ();
+  Gc.full_major ();
+  for k = 0 to n - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "payload %d released" k)
+      false
+      (Option.is_some (Weak.get w k))
+  done;
+  (* The heap object itself stays alive and usable. *)
+  Heap.push h (42, [| 42 |]);
+  Alcotest.(check int) "usable after drain" 1 (Heap.length h)
+
+(* Same property mid-stream: after popping some of the elements, the
+   popped payloads must already be collectable while the rest stay put. *)
+let test_partial_pop_releases_payloads () =
+  let h = Heap.create ~compare:(fun (a, _) (b, _) -> Int.compare a b) in
+  let w = Weak.create 2 in
+  let fill () =
+    for i = 0 to 6 do
+      Heap.push h (i, Array.make 64 i)
+    done
+  in
+  let take k =
+    match Heap.pop h with
+    | Some (_, payload) -> Weak.set w k (Some payload)
+    | None -> Alcotest.fail "heap drained early"
+  in
+  fill ();
+  take 0;
+  take 1;
+  Gc.full_major ();
+  Alcotest.(check bool) "popped payloads released" true
+    (Option.is_none (Weak.get w 0) && Option.is_none (Weak.get w 1));
+  Alcotest.(check int) "rest still queued" 5 (Heap.length h);
+  Alcotest.(check bool) "next pop correct" true
+    (match Heap.pop h with Some (2, _) -> true | _ -> false)
+
 let prop_drain_is_sorted =
   QCheck.Test.make ~count:200 ~name:"heap drains in sorted order"
     QCheck.(list int)
@@ -103,6 +166,10 @@ let suite =
       Alcotest.test_case "clear" `Quick test_clear;
       Alcotest.test_case "of_list" `Quick test_of_list;
       Alcotest.test_case "fold_unordered" `Quick test_fold_unordered;
+      Alcotest.test_case "pop releases payloads (drain)" `Quick
+        test_pop_releases_payloads;
+      Alcotest.test_case "pop releases payloads (partial)" `Quick
+        test_partial_pop_releases_payloads;
       QCheck_alcotest.to_alcotest prop_drain_is_sorted;
       QCheck_alcotest.to_alcotest prop_interleaved_pops;
     ] )

@@ -73,6 +73,75 @@ let test_differential_label_a () =
         (outcome_fingerprint par.Planner.outcome))
     planners
 
+let test_differential_jobs8 () =
+  (* jobs=8 drives A*'s speculative rounds at width 16 and the widest
+     pool fan-out; outcomes, costs and plan validity must still match the
+     sequential path exactly for every engine-backed planner. *)
+  for seed = 7 to 9 do
+    let task = random_task seed in
+    List.iter
+      (fun (name, plan) ->
+        let seq = plan (cfg 1) task in
+        let par = plan (cfg 8) task in
+        Alcotest.(check string)
+          (Printf.sprintf "seed %d: %s jobs=1 vs jobs=8" seed name)
+          (outcome_fingerprint seq.Planner.outcome)
+          (outcome_fingerprint par.Planner.outcome);
+        Alcotest.(check int)
+          (Printf.sprintf "seed %d: %s expanded states agree" seed name)
+          seq.Planner.stats.Planner.expanded par.Planner.stats.Planner.expanded;
+        Alcotest.(check int)
+          (Printf.sprintf "seed %d: %s generated states agree" seed name)
+          seq.Planner.stats.Planner.generated
+          par.Planner.stats.Planner.generated;
+        match par.Planner.outcome with
+        | Planner.Found p -> (
+            match Plan.validate task p with
+            | Ok () -> ()
+            | Error e ->
+                Alcotest.fail
+                  (Printf.sprintf "seed %d: %s parallel plan invalid: %s" seed
+                     name e))
+        | _ -> ())
+      planners
+  done
+
+let test_forced_speculation_differential () =
+  (* The default speculative width collapses to 1 without real hardware
+     parallelism, so force wide rounds explicitly: every width must
+     replay the sequential expansion order bit-identically (plans, costs,
+     expanded/generated), at any job count. *)
+  for seed = 1 to 6 do
+    let task = random_task seed in
+    let seq = Astar.plan ~config:(cfg 1) task in
+    List.iter
+      (fun (jobs, width) ->
+        let spec =
+          Astar.plan ~config:(cfg jobs) ~spec_width:width task
+        in
+        let what =
+          Printf.sprintf "seed %d: jobs=%d width=%d" seed jobs width
+        in
+        Alcotest.(check string)
+          (what ^ " outcome")
+          (outcome_fingerprint seq.Planner.outcome)
+          (outcome_fingerprint spec.Planner.outcome);
+        Alcotest.(check int)
+          (what ^ " expanded")
+          seq.Planner.stats.Planner.expanded spec.Planner.stats.Planner.expanded;
+        Alcotest.(check int)
+          (what ^ " generated")
+          seq.Planner.stats.Planner.generated
+          spec.Planner.stats.Planner.generated;
+        match (seq.Planner.outcome, spec.Planner.outcome) with
+        | Planner.Found a, Planner.Found b ->
+            Alcotest.(check (list int))
+              (what ^ " identical block sequence")
+              a.Plan.blocks b.Plan.blocks
+        | _ -> ())
+      [ (1, 2); (1, 16); (4, 8); (8, 16) ]
+  done
+
 let test_jobs_one_matches_legacy_stats () =
   (* jobs=1 is the sequential path: same outcome, and the same number of
      full checks and cache hits as planning used to perform. *)
@@ -140,6 +209,10 @@ let suite =
         test_differential_planning;
       Alcotest.test_case "topology A differential" `Quick
         test_differential_label_a;
+      Alcotest.test_case "jobs=1 vs jobs=8 differential (speculation)" `Slow
+        test_differential_jobs8;
+      Alcotest.test_case "forced speculation widths are bit-identical" `Slow
+        test_forced_speculation_differential;
       Alcotest.test_case "jobs=1 legacy stats" `Quick
         test_jobs_one_matches_legacy_stats;
       Alcotest.test_case "engine batch = sequential" `Quick
