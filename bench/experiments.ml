@@ -813,6 +813,239 @@ let overlay opts =
   write_overlay_json path ~label ~reps ~eager_us ~lazy_us (List.rev !rows);
   Runner.note (Printf.sprintf "wrote %s" path)
 
+(* ------------------------------------------------------------------ *)
+(* Robust ensemble satisfiability: one admission check against k demand
+   matrices (growth percentiles and spike scenarios) versus the
+   single-forecast check.  Two claims are measured: (1) the shared
+   dirty-stage evaluation makes a k-matrix check cost well under k
+   single checks; (2) planning against the ensemble up front absorbs
+   demand surprises that force the single-forecast plan to replan
+   mid-operation.  Dumped to BENCH_ROBUST.json for the record; the k=1
+   rows assert bit-equal costs between the legacy path and a task
+   carrying an explicit one-matrix ensemble (CI greps for
+   "same_cost": false). *)
+
+let write_robust_json path rows sims =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"experiment\": \"robust-ensemble\",\n";
+  Printf.fprintf oc "  \"cores\": %d,\n  \"rows\": [\n"
+    (Domain.recommended_domain_count ());
+  let n = List.length rows in
+  List.iteri
+    (fun i (label, k, cost, checks, spc, ratio, same_cost) ->
+      Printf.fprintf oc
+        "    {\"topology\": %S, \"k\": %d, \"cost\": %s, \"checks\": %d, \
+         \"seconds_per_check\": %.9f, \"check_ratio_vs_k1\": %.3f%s}%s\n"
+        label k
+        (match cost with Some c -> Printf.sprintf "%.6f" c | None -> "null")
+        checks spc ratio
+        (match same_cost with
+        | Some b -> Printf.sprintf ", \"same_cost\": %b" b
+        | None -> "")
+        (if i = n - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ],\n  \"simulation\": [\n";
+  let n = List.length sims in
+  List.iteri
+    (fun i (label, seeds, surprises, rp_single, rp_ens, ok_single, ok_ens) ->
+      Printf.fprintf oc
+        "    {\"topology\": %S, \"seeds\": %d, \"surprises\": %d, \
+         \"replans_single\": %d, \"replans_ensemble\": %d, \
+         \"completed_single\": %b, \"completed_ensemble\": %b}%s\n"
+        label seeds surprises rp_single rp_ens ok_single ok_ens
+        (if i = n - 1 then "" else ","))
+    sims;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
+let robust opts =
+  Runner.heading
+    "Robust ensemble satisfiability: k demand matrices per admission check";
+  Runner.note
+    "s/check for A* planning against k forecast matrices (k=1 is the \
+     historical single-forecast engine); the ratio column is the marginal \
+     cost of robustness.  The k=1 rows assert the explicit one-matrix \
+     ensemble and the legacy path produce bit-equal plan costs.";
+  let tasks =
+    if opts.quick then [ ("A", task "A") ]
+    else begin
+      let p = { (Gen.params_c ()) with Gen.mas = 24 } in
+      [
+        ("C-SSW", Task.of_scenario (Gen.build Gen.Ssw_forklift p));
+        ("C-DMAG", Task.of_scenario (Gen.build Gen.Dmag p));
+      ]
+    end
+  in
+  let ks = [ 1; 2; 4 ] in
+  let t =
+    Table_fmt.create
+      ~headers:
+        [ "Topology"; "k"; "Cost"; "Checks"; "s/check"; "vs k=1";
+          "Same cost" ]
+  in
+  let rows = ref [] and sims = ref [] in
+  let spc (r : Planner.result) =
+    r.Planner.stats.Planner.check_seconds
+    /. float_of_int (max 1 r.Planner.stats.Planner.sat_checks)
+  in
+  List.iter
+    (fun (label, task) ->
+      (* Warm-up, then keep each configuration's best-per-check run: the
+         per-check floor is the stable estimator (same methodology as the
+         `inc` experiment). *)
+      ignore (Astar.plan ~config:(cfg opts) task : Planner.result);
+      let best config =
+        Gc.full_major ();
+        let pick = ref (Astar.plan ~config task) in
+        let spent = ref !pick.Planner.stats.Planner.check_seconds in
+        let reps = ref 1 in
+        while !spent < 0.6 && !reps < 200 do
+          let r = Astar.plan ~config task in
+          spent := !spent +. r.Planner.stats.Planner.check_seconds;
+          incr reps;
+          if spc r < spc !pick then pick := r
+        done;
+        !pick
+      in
+      let spc_k1 = ref 1.0 in
+      List.iter
+        (fun k ->
+          Printf.printf "  %s / k=%d...\n%!" label k;
+          let config =
+            if k = 1 then cfg opts
+            else Planner.with_ensemble ~quantile:1.0 k (cfg opts)
+          in
+          let r = best config in
+          let s = spc r in
+          if k = 1 then spc_k1 := s;
+          let ratio = s /. Float.max !spc_k1 1e-12 in
+          let cost = Planner.cost_of r in
+          let same_cost =
+            if k > 1 then None
+            else begin
+              (* Differential guard: the same task carrying an explicit
+                 one-matrix ensemble must plan to a bit-equal cost — the
+                 ensemble machinery must not engage at k=1. *)
+              let names =
+                Array.of_list
+                  (List.map
+                     (fun (d : Demand.t) -> d.Demand.name)
+                     task.Task.demands)
+              in
+              let fc =
+                Forecast.create ~prng:(Kutil.Prng.create ~seed:0x6b6c6f74) ()
+              in
+              let e1 =
+                Ensemble.generate ~quantile:1.0 ~k:1
+                  ~horizon_weeks:Planner.ensemble_horizon_weeks fc
+                  ~class_names:names
+              in
+              let r1 =
+                Astar.plan ~config:(cfg opts)
+                  (Task.with_ensemble (Some e1) task)
+              in
+              Some
+                (match (cost, Planner.cost_of r1) with
+                | Some a, Some b -> Float.equal a b
+                | None, None -> true
+                | _ -> false)
+            end
+          in
+          rows :=
+            (label, k, cost, r.Planner.stats.Planner.sat_checks, s, ratio,
+             same_cost)
+            :: !rows;
+          Table_fmt.add_row t
+            [
+              label;
+              string_of_int k;
+              (match cost with
+              | Some c -> Printf.sprintf "%g" c
+              | None -> Runner.cross);
+              string_of_int r.Planner.stats.Planner.sat_checks;
+              Printf.sprintf "%.2e" s;
+              Printf.sprintf "%.2fx" ratio;
+              (match same_cost with
+              | Some true -> "yes"
+              | Some false -> "NO"
+              | None -> "");
+            ])
+        ks)
+    tasks;
+  Table_fmt.print ~align:Table_fmt.Right t;
+  (* Operating under demand surprises: the single-forecast plan replans
+     whenever realized demand breaks an audit; the ensemble plan was
+     admitted under the spike matrices and should absorb more of them. *)
+  Runner.note
+    "Simulated operation under beyond-forecast surprises (replans, summed \
+     over seeds; fewer is better):";
+  let sim_t =
+    Table_fmt.create
+      ~headers:
+        [ "Topology"; "Seeds"; "Surprises"; "Replans k=1"; "Replans k=4";
+          "Completed" ]
+  in
+  let seeds = if opts.quick then [ 11; 12 ] else [ 11; 12; 13; 14 ] in
+  List.iter
+    (fun (label, task) ->
+      Printf.printf "  %s / operating...\n%!" label;
+      let arm ~ensemble =
+        let config =
+          if ensemble > 1 then
+            Planner.with_ensemble ~quantile:1.0 ensemble (cfg opts)
+          else cfg opts
+        in
+        let surprises = ref 0 and replans = ref 0 and ok = ref true in
+        List.iter
+          (fun seed ->
+            match (Astar.plan ~config task).Planner.outcome with
+            | Planner.Found plan ->
+                let prng = Kutil.Prng.create ~seed in
+                (* Flat forecast: the injected surprises are the only
+                   perturbation, so the arms differ purely in how much
+                   beyond-forecast demand their plans absorb. *)
+                let forecast =
+                  Forecast.create ~weekly_growth:0.0 ~spike_probability:0.0
+                    ~prng:(Kutil.Prng.split prng) ()
+                in
+                let outcome =
+                  Simulate.run
+                    ~config:
+                      {
+                        Simulate.default_config with
+                        Simulate.failure_probability = 0.05;
+                        surprise_probability = 0.07;
+                        surprise_magnitude = 0.25;
+                        ensemble;
+                        quantile = 1.0;
+                      }
+                    ~prng ~forecast task plan
+                in
+                surprises := !surprises + outcome.Simulate.surprises;
+                replans := !replans + outcome.Simulate.replans;
+                if not outcome.Simulate.completed then ok := false
+            | _ -> ok := false)
+          seeds;
+        (!surprises, !replans, !ok)
+      in
+      let s1, rp1, ok1 = arm ~ensemble:1 in
+      let _s4, rp4, ok4 = arm ~ensemble:4 in
+      sims := (label, List.length seeds, s1, rp1, rp4, ok1, ok4) :: !sims;
+      Table_fmt.add_row sim_t
+        [
+          label;
+          string_of_int (List.length seeds);
+          string_of_int s1;
+          string_of_int rp1;
+          string_of_int rp4;
+          (if ok1 && ok4 then "yes" else "NO");
+        ])
+    tasks;
+  Table_fmt.print ~align:Table_fmt.Right sim_t;
+  let path = "BENCH_ROBUST.json" in
+  write_robust_json path (List.rev !rows) (List.rev !sims);
+  Runner.note (Printf.sprintf "wrote %s" path)
+
 let all = [
   ("table1", table1);
   ("table3", table3);
@@ -825,5 +1058,6 @@ let all = [
   ("par", par);
   ("inc", inc);
   ("overlay", overlay);
+  ("robust", robust);
   ("ext", ext);
 ]

@@ -61,6 +61,34 @@ let no_incremental =
   in
   Arg.(value & flag & info [ "no-incremental" ] ~doc)
 
+let ensemble =
+  let doc =
+    "Robust planning: check every candidate state against this many demand \
+     matrices (growth percentiles and spike scenarios derived from a \
+     deterministic forecast).  1 is the historical single-matrix \
+     admission, bit-identical."
+  in
+  Arg.(value & opt int 1 & info [ "ensemble" ] ~docv:"K" ~doc)
+
+let quantile =
+  let doc =
+    "CVaR-style admission quantile: a state passes when safe under at \
+     least ceil(QUANTILE * K) of the K ensemble matrices.  1.0 requires \
+     safety under all of them."
+  in
+  Arg.(value & opt float 1.0 & info [ "quantile" ] ~docv:"Q" ~doc)
+
+let resolve_ensemble k q config =
+  if k < 1 then begin
+    Printf.eprintf "error: --ensemble must be >= 1\n";
+    exit 1
+  end;
+  if q <= 0.0 || q > 1.0 then begin
+    Printf.eprintf "error: --quantile must be in (0, 1]\n";
+    exit 1
+  end;
+  if k = 1 then config else Planner.with_ensemble ~quantile:q k config
+
 let resolve_jobs n =
   if n = 0 then Kutil.Domain_pool.recommended_jobs ()
   else if n < 0 then begin
@@ -215,7 +243,7 @@ let plan_cmd =
     Arg.(value & flag & info [ "timeline" ] ~doc)
   in
   let run verbose path planner theta alpha budget block_factor seed jobs
-      no_incremental no_validate plan_out timeline =
+      no_incremental ensemble quantile no_validate plan_out timeline =
     setup_logs verbose;
     let _, task = load_task ~theta ~alpha ~block_factor ~seed path in
     let planner_kind =
@@ -230,9 +258,10 @@ let plan_cmd =
           exit 1
     in
     let config =
-      Planner.with_incremental (not no_incremental)
-        (Planner.with_jobs (resolve_jobs jobs)
-           (Planner.with_budget (Some budget)))
+      resolve_ensemble ensemble quantile
+        (Planner.with_incremental (not no_incremental)
+           (Planner.with_jobs (resolve_jobs jobs)
+              (Planner.with_budget (Some budget))))
     in
     let result = Klotski.plan ~planner:planner_kind ~config task in
     Format.printf "%a@." Planner.pp_result result;
@@ -266,8 +295,8 @@ let plan_cmd =
     (Cmd.info "plan" ~doc:"Compute a safe migration plan from an NPD file.")
     Term.(
       const run $ verbose $ npd_file $ planner $ theta $ alpha $ budget
-      $ block_factor $ seed $ jobs $ no_incremental $ no_validate $ plan_out
-      $ timeline)
+      $ block_factor $ seed $ jobs $ no_incremental $ ensemble $ quantile
+      $ no_validate $ plan_out $ timeline)
 
 (* ------------------------------------------------------------------ *)
 (* simulate *)
@@ -285,13 +314,25 @@ let simulate_cmd =
     let doc = "Weekly organic demand growth (fraction)." in
     Arg.(value & opt float 0.01 & info [ "growth" ] ~doc)
   in
-  let run verbose path theta seed jobs no_incremental weeks
-      failure_probability growth =
+  let surprise_probability =
+    let doc =
+      "Per-class per-week probability of a beyond-forecast demand surprise \
+       (drift the forecast missed; triggers audits and replans)."
+    in
+    Arg.(value & opt float 0.0 & info [ "surprise-probability" ] ~doc)
+  in
+  let surprise_magnitude =
+    let doc = "Multiplicative size of a demand surprise (0.5 = +50%)." in
+    Arg.(value & opt float 0.5 & info [ "surprise-magnitude" ] ~doc)
+  in
+  let run verbose path theta seed jobs no_incremental ensemble quantile weeks
+      failure_probability growth surprise_probability surprise_magnitude =
     setup_logs verbose;
     let _, task = load_task ~theta ~seed path in
     let config =
-      Planner.with_incremental (not no_incremental)
-        (Planner.with_jobs (resolve_jobs jobs) Planner.default_config)
+      resolve_ensemble ensemble quantile
+        (Planner.with_incremental (not no_incremental)
+           (Planner.with_jobs (resolve_jobs jobs) Planner.default_config))
     in
     match Klotski.plan ~config task with
     | { Planner.outcome = Planner.Found plan; _ } ->
@@ -307,6 +348,10 @@ let simulate_cmd =
                 Simulate.default_config with
                 Simulate.max_weeks = weeks;
                 failure_probability;
+                surprise_probability;
+                surprise_magnitude;
+                ensemble;
+                quantile;
               }
             ~prng ~forecast task plan
         in
@@ -314,10 +359,11 @@ let simulate_cmd =
           (fun e -> Format.printf "%a@." Simulate.pp_event e)
           outcome.Simulate.events;
         Printf.printf
-          "summary: %s in %d weeks, %d pipeline failures, %d replans\n"
+          "summary: %s in %d weeks, %d pipeline failures, %d surprises, %d \
+           replans\n"
           (if outcome.Simulate.completed then "completed" else "incomplete")
           outcome.Simulate.weeks outcome.Simulate.failures
-          outcome.Simulate.replans;
+          outcome.Simulate.surprises outcome.Simulate.replans;
         if not outcome.Simulate.completed then exit 3
     | r ->
         Format.printf "%a@." Planner.pp_result r;
@@ -331,7 +377,8 @@ let simulate_cmd =
           workflow of the paper's experience section).")
     Term.(
       const run $ verbose $ npd_file $ theta $ seed $ jobs $ no_incremental
-      $ weeks $ failure_probability $ growth)
+      $ ensemble $ quantile $ weeks $ failure_probability $ growth
+      $ surprise_probability $ surprise_magnitude)
 
 (* ------------------------------------------------------------------ *)
 (* export *)

@@ -5,6 +5,10 @@ type config = {
   steps_per_week : int;
   max_weeks : int;
   planner_budget : float;
+  surprise_probability : float;
+  surprise_magnitude : float;
+  ensemble : int;
+  quantile : float;
 }
 
 let default_config =
@@ -13,12 +17,17 @@ let default_config =
     steps_per_week = 2;
     max_weeks = 52;
     planner_budget = 60.0;
+    surprise_probability = 0.0;
+    surprise_magnitude = 0.5;
+    ensemble = 1;
+    quantile = 1.0;
   }
 
 type event =
   | Step_completed of { week : int; block : int; label : string }
   | Step_failed of { week : int; block : int; label : string }
   | Audit_failed of { week : int; block : int; reason : string }
+  | Demand_surprise of { week : int; cls : string; factor : float }
   | Replanned of { week : int; cost : float; steps : int }
   | Completed of { week : int }
   | Aborted of { week : int; reason : string }
@@ -31,6 +40,9 @@ let pp_event fmt = function
         week label
   | Audit_failed { week; reason; _ } ->
       Format.fprintf fmt "week %2d: audit failed - %s" week reason
+  | Demand_surprise { week; cls; factor } ->
+      Format.fprintf fmt "week %2d: demand surprise - %s at %.2fx forecast"
+        week cls factor
   | Replanned { week; cost; steps } ->
       Format.fprintf fmt "week %2d: replanned remainder (%d steps, cost %g)"
         week steps cost
@@ -44,10 +56,16 @@ type outcome = {
   completed : bool;
   failures : int;
   replans : int;
+  surprises : int;
 }
 
-(* Scale the base task's demands to a given week's forecast. *)
-let task_at_week (task : Task.t) forecast ~week =
+(* Realized per-class demand factors for a week: the forecast's factor,
+   optionally hit by a beyond-forecast surprise drawn from the run PRNG.
+   Surprise draws are gated on the probability so the default (0.0)
+   consumes no PRNG values — runs without surprises replay the
+   historical stream exactly. *)
+let week_factors config ~prng ~forecast ~emit ~surprises (task : Task.t)
+    ~week =
   let factors =
     Array.of_list
       (List.map
@@ -55,12 +73,28 @@ let task_at_week (task : Task.t) forecast ~week =
            Forecast.scale_at forecast ~week ~class_name:d.Demand.name)
          task.Task.demands)
   in
-  Task.scale_demands task factors
+  if config.surprise_probability > 0.0 && week > 0 then
+    List.iteri
+      (fun i (d : Demand.t) ->
+        if Prng.float prng 1.0 < config.surprise_probability then begin
+          factors.(i) <- factors.(i) *. (1.0 +. config.surprise_magnitude);
+          incr surprises;
+          emit
+            (Demand_surprise
+               {
+                 week;
+                 cls = d.Demand.name;
+                 factor = 1.0 +. config.surprise_magnitude;
+               })
+        end)
+      task.Task.demands;
+  factors
 
 (* Audit: is performing [block] next, from the executed prefix, safe under
-   this week's demand? *)
+   this week's demand?  Audits judge the {e realized} single matrix —
+   any planning ensemble on the task is stripped. *)
 let audit (task : Task.t) ~executed ~block =
-  let ck = Constraint.create task in
+  let ck = Constraint.create (Task.with_ensemble None task) in
   List.iter (Constraint.apply_block ck) executed;
   Constraint.apply_block ck block;
   Constraint.current_ok ~last_block:block ck
@@ -69,14 +103,19 @@ let run ?(config = default_config) ~prng ~forecast (task : Task.t)
     (plan : Plan.t) =
   let events = ref [] in
   let emit e = events := e :: !events in
-  let failures = ref 0 and replans = ref 0 in
+  let failures = ref 0 and replans = ref 0 and surprises = ref 0 in
   let executed = ref [] in
   (* [rest] holds the remaining block ids, in the base task's numbering. *)
   let rest = ref plan.Plan.blocks in
   let week = ref 0 in
   let finished = ref false and aborted = ref false in
   while (not !finished) && (not !aborted) && !week < config.max_weeks do
-    let week_task = task_at_week task forecast ~week:!week in
+    (* One draw of realized factors per week: the audits and any replan
+       this week see the same demand. *)
+    let factors =
+      week_factors config ~prng ~forecast ~emit ~surprises task ~week:!week
+    in
+    let week_task = Task.scale_demands task factors in
     let slot = ref 0 in
     while
       !slot < config.steps_per_week && (not !finished) && not !aborted
@@ -96,19 +135,18 @@ let run ?(config = default_config) ~prng ~forecast (task : Task.t)
                      Printf.sprintf "%s is unsafe under week-%d demand" label
                        !week;
                  });
-            (* Replan the remainder under the current forecast. *)
-            let factors =
-              Array.of_list
-                (List.map
-                   (fun (d : Demand.t) ->
-                     Forecast.scale_at forecast ~week:!week
-                       ~class_name:d.Demand.name)
-                   task.Task.demands)
+            (* Replan the remainder under the realized demand — robustly
+               when the config asks for an ensemble. *)
+            let replan_config =
+              let c = Planner.with_budget (Some config.planner_budget) in
+              if config.ensemble > 1 then
+                Planner.with_ensemble ~quantile:config.quantile
+                  config.ensemble c
+              else c
             in
             let result, _, mapping =
-              Klotski.replan
-                ~config:(Planner.with_budget (Some config.planner_budget))
-                task ~executed:!executed ~demand_scales:factors
+              Klotski.replan ~config:replan_config task ~executed:!executed
+                ~demand_scales:factors
             in
             incr replans;
             match result.Planner.outcome with
@@ -154,4 +192,5 @@ let run ?(config = default_config) ~prng ~forecast (task : Task.t)
     completed = !finished;
     failures = !failures;
     replans = !replans;
+    surprises = !surprises;
   }

@@ -24,6 +24,20 @@ type config = {
   steps_per_week : int;  (** Operation slots per week (default 2). *)
   max_weeks : int;  (** Give up after this long (default 52). *)
   planner_budget : float;  (** Seconds per replanning run (default 60). *)
+  surprise_probability : float;
+      (** Per-class per-week probability of a {e beyond-forecast} demand
+          surprise — realized demand the forecast did not predict, the
+          drift that forces replans.  Default 0.0: no surprises, and no
+          PRNG draws, so default runs replay the historical stream
+          exactly. *)
+  surprise_magnitude : float;
+      (** Multiplicative size of a surprise (default 0.5 = +50%),
+          applied on top of the week's forecast factor for one week. *)
+  ensemble : int;
+      (** Replan robustly against this many demand matrices (default 1 —
+          the historical single-forecast replanning). *)
+  quantile : float;
+      (** Admission quantile for ensemble replans (default 1.0). *)
 }
 
 val default_config : config
@@ -34,6 +48,8 @@ type event =
       (** The push pipeline failed; the step will be retried. *)
   | Audit_failed of { week : int; block : int; reason : string }
       (** The next step is no longer safe under current demand. *)
+  | Demand_surprise of { week : int; cls : string; factor : float }
+      (** A class's realized demand exceeded its forecast this week. *)
   | Replanned of { week : int; cost : float; steps : int }
   | Completed of { week : int }
   | Aborted of { week : int; reason : string }
@@ -46,6 +62,7 @@ type outcome = {
   completed : bool;
   failures : int;  (** Push-pipeline failures survived. *)
   replans : int;  (** Replanning rounds triggered by audits. *)
+  surprises : int;  (** Beyond-forecast demand surprises injected. *)
 }
 
 val run :

@@ -52,6 +52,7 @@ type shard = {
 type t = {
   enabled : bool;
   funneling : bool;
+  ensemble_id : int option;  (* appended to keys when the task is robust *)
   task : Task.t;  (* for the compact-state -> overlay-word lowering *)
   shards : shard array;
   hits : int Atomic.t;
@@ -63,6 +64,10 @@ let create ?(enabled = true) (task : Task.t) =
   {
     enabled;
     funneling = task.Task.funneling > 0.0;
+    ensemble_id =
+      (match task.Task.ensemble with
+      | Some e when Ensemble.k e > 1 -> Some (Ensemble.id e)
+      | _ -> None);
     task;
     shards =
       Array.init n_shards (fun _ ->
@@ -85,13 +90,27 @@ let create ?(enabled = true) (task : Task.t) =
    themselves.  With funneling, satisfiability also depends on which
    block was operated last; appending the last action type keeps entries
    sound (the block is determined by V and the type under canonical
-   order). *)
+   order).  A robust task's verdicts likewise depend on its ensemble;
+   appending the ensemble's identity hash keeps distinct ensembles from
+   aliasing.  Single-matrix tasks (no ensemble, or k = 1) append
+   nothing, so their keys — and hit/miss counters — are exactly the
+   historical ones. *)
 let key_of cache ?last_type v =
   let w = cache.task.Task.state_word_count in
-  let k = Array.make (if cache.funneling then w + 1 else w) 0 in
+  let extra =
+    (if cache.funneling then 1 else 0)
+    + match cache.ensemble_id with Some _ -> 1 | None -> 0
+  in
+  let k = Array.make (w + extra) 0 in
   Task.blit_state_words cache.task v ~into:k;
-  if cache.funneling then
-    k.(w) <- (match last_type with Some a -> a + 1 | None -> 0);
+  let i = ref w in
+  if cache.funneling then begin
+    k.(!i) <- (match last_type with Some a -> a + 1 | None -> 0);
+    incr i
+  end;
+  (match cache.ensemble_id with
+  | Some id -> k.(!i) <- id
+  | None -> ());
   k
 
 let shard_of cache key =

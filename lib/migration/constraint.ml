@@ -29,6 +29,26 @@ type inc = {
   mutable patches_left : int;
 }
 
+(* Ensemble evaluation state: one auxiliary load vector per extra matrix
+   (matrix 0 rides on the base loads), per-class prebuilt (loads, factor)
+   deposit arrays handed straight to Ecmp, and per-matrix stuck volume
+   and θ-violation tracking.  Flow is linear in class volume, so one
+   ECMP traversal fills every matrix's loads, and a class's stuck volume
+   under matrix m is its base stuck times the class factor.  Allocated
+   only when the task carries an ensemble with k > 1 — the k = 1 path
+   never touches any of this. *)
+type ens = {
+  xaux : (float array * float) array array;
+      (* class -> extra matrix -> (that matrix's loads, class factor):
+         exactly the [aux] argument Ecmp takes, prebuilt once *)
+  xloads : float array array;  (* extra matrix -> per-circuit loads *)
+  xstuck : float array;  (* extra matrix -> stuck volume *)
+  need : int;  (* ⌈q·k⌉: matrices a state must be safe under *)
+  (* per-matrix θ violations, maintained with the shared dirty set *)
+  xbad : Bytes.t array;
+  xn_bad : int array;
+}
+
 (* Demand-evaluation state: the per-circuit loads, the ECMP scratch and
    the optional incremental layer.  Allocated lazily on the first demand
    evaluation — checker creation itself touches only the overlay words,
@@ -37,6 +57,7 @@ type eval_state = {
   loads : float array;
   scratch : Ecmp.scratch;
   inc : inc option;
+  ens : ens option;
 }
 
 type t = {
@@ -154,6 +175,26 @@ let make_inc (task : Task.t) =
     patches_left = patch_interval;
   }
 
+let make_ens (task : Task.t) en =
+  let n_circuits = Universe.n_circuits (Task.universe task) in
+  let kx = Ensemble.k en - 1 in
+  let xloads = Array.init kx (fun _ -> Array.make n_circuits 0.0) in
+  let xaux =
+    Array.init
+      (Array.length task.Task.compiled)
+      (fun d ->
+        Array.init kx (fun x ->
+            (xloads.(x), Ensemble.factor en ~matrix:(x + 1) ~cls:d)))
+  in
+  {
+    xaux;
+    xloads;
+    xstuck = Array.make kx 0.0;
+    need = Ensemble.need en;
+    xbad = Array.init kx (fun _ -> Bytes.make n_circuits '\000');
+    xn_bad = Array.make kx 0;
+  }
+
 let eval_state ck =
   match ck.eval with
   | Some es -> es
@@ -166,6 +207,10 @@ let eval_state ck =
             (if ck.incremental && delta_profitable ck.task then
                Some (make_inc ck.task)
              else None);
+          ens =
+            (match ck.task.Task.ensemble with
+            | Some en when Ensemble.k en > 1 -> Some (make_ens ck.task en)
+            | _ -> None);
         }
       in
       ck.eval <- Some es;
@@ -348,25 +393,55 @@ let split_of ck =
 let loaded_usable ck (loads : float array) j =
   loads.(j) > 0.0 && Topo.usable ck.topo j
 
+(* Reset the per-matrix accumulators before a from-zero evaluation. *)
+let ens_clear x =
+  Array.iter (fun l -> Array.fill l 0 (Array.length l) 0.0) x.xloads;
+  Array.fill x.xstuck 0 (Array.length x.xstuck) 0.0
+
+(* Fold one class's stuck volume into every extra matrix: stuck scales
+   linearly with the class's volume factor, like every other flow
+   quantity. *)
+let ens_note_stuck x d stuck =
+  let xa = x.xaux.(d) in
+  for m = 0 to Array.length xa - 1 do
+    let _, f = xa.(m) in
+    x.xstuck.(m) <- x.xstuck.(m) +. (stuck *. f)
+  done
+
 (* The original full evaluation: zero the loads, replay every class.
-   Used when the incremental layer is disabled. *)
+   Used when the incremental layer is disabled.  With an ensemble, the
+   same traversal also fills every extra matrix's loads (Ecmp aux
+   deposits) and stuck volumes. *)
 let eval_demands_full ck es =
   Array.fill es.loads 0 (Array.length es.loads) 0.0;
+  (match es.ens with None -> () | Some x -> ens_clear x);
   let stuck = ref 0.0 in
   let split = split_of ck in
-  Array.iter
-    (fun (compiled, scale) ->
+  Array.iteri
+    (fun d (compiled, scale) ->
       let r =
-        Ecmp.evaluate ~scale ~split ck.topo es.scratch compiled ~loads:es.loads
+        match es.ens with
+        | None ->
+            Ecmp.evaluate ~scale ~split ck.topo es.scratch compiled
+              ~loads:es.loads
+        | Some x ->
+            let r =
+              Ecmp.evaluate ~scale ~split ~aux:x.xaux.(d) ck.topo es.scratch
+                compiled ~loads:es.loads
+            in
+            ens_note_stuck x d r.Ecmp.stuck;
+            r
       in
       stuck := !stuck +. r.Ecmp.stuck)
     ck.task.Task.compiled;
   !stuck
 
-let circuit_bad ck es j =
-  loaded_usable ck es.loads j
-  && es.loads.(j) /. (Topo.circuit ck.topo j).Circuit.capacity
+let circuit_bad_on ck (loads : float array) j =
+  loaded_usable ck loads j
+  && loads.(j) /. (Topo.circuit ck.topo j).Circuit.capacity
      > ck.task.Task.theta +. 1e-9
+
+let circuit_bad ck es j = circuit_bad_on ck es.loads j
 
 let rebuild_bad ck es st =
   Bytes.fill st.bad 0 (Bytes.length st.bad) '\000';
@@ -377,20 +452,46 @@ let rebuild_bad ck es st =
       incr n_bad
     end
   done;
-  st.n_bad <- !n_bad
+  st.n_bad <- !n_bad;
+  match es.ens with
+  | None -> ()
+  | Some x ->
+      for m = 0 to Array.length x.xloads - 1 do
+        let loads = x.xloads.(m) and bad = x.xbad.(m) in
+        Bytes.fill bad 0 (Bytes.length bad) '\000';
+        let n_bad = ref 0 in
+        for j = 0 to Array.length loads - 1 do
+          if circuit_bad_on ck loads j then begin
+            Bytes.unsafe_set bad j '\001';
+            incr n_bad
+          end
+        done;
+        x.xn_bad.(m) <- !n_bad
+      done
 
 (* Full rebuild of the incremental state: loads from zero, per-class
    recorded stages, utilization flags. *)
 let refresh ck es st =
   Array.fill es.loads 0 (Array.length es.loads) 0.0;
+  (match es.ens with None -> () | Some x -> ens_clear x);
   let split = split_of ck in
   let stuck = ref 0.0 in
   Array.iteri
     (fun d (_, scale) ->
-      stuck :=
-        !stuck
-        +. Ecmp.evaluate_rebuild ~scale ~split ck.topo es.scratch
-             st.classes.(d) ~loads:es.loads)
+      let class_stuck =
+        match es.ens with
+        | None ->
+            Ecmp.evaluate_rebuild ~scale ~split ck.topo es.scratch
+              st.classes.(d) ~loads:es.loads
+        | Some x ->
+            let s =
+              Ecmp.evaluate_rebuild ~scale ~split ~aux:x.xaux.(d) ck.topo
+                es.scratch st.classes.(d) ~loads:es.loads
+            in
+            ens_note_stuck x d s;
+            s
+      in
+      stuck := !stuck +. class_stuck)
     ck.task.Task.compiled;
   st.total_stuck <- !stuck;
   st.loads_valid <- true;
@@ -434,6 +535,21 @@ let recheck_dirty ck es st =
       Bytes.unsafe_set st.bad j (if now then '\001' else '\000');
       st.n_bad <- st.n_bad + (if now then 1 else -1)
     end;
+    (* The dirty circuit set is shared: a patch touches the same
+       circuits in every matrix, so one recheck pass maintains all the
+       per-matrix violation counts. *)
+    (match es.ens with
+    | None -> ()
+    | Some x ->
+        for m = 0 to Array.length x.xloads - 1 do
+          let bad = x.xbad.(m) in
+          let was = Bytes.unsafe_get bad j = '\001' in
+          let now = circuit_bad_on ck x.xloads.(m) j in
+          if now <> was then begin
+            Bytes.unsafe_set bad j (if now then '\001' else '\000');
+            x.xn_bad.(m) <- x.xn_bad.(m) + (if now then 1 else -1)
+          end
+        done);
     Bitset.remove st.dirty j
   done;
   st.dirty_len <- 0
@@ -474,8 +590,19 @@ let eval_incremental ck es st =
             let old = Ecmp.class_stuck cls in
             let _, scale = ck.task.Task.compiled.(d) in
             let fresh =
-              Ecmp.evaluate_patch ~scale ~split ck.topo es.scratch cls ~dirty:m
-                ~loads:es.loads ~mark:(fun j -> mark_dirty st j)
+              match es.ens with
+              | None ->
+                  Ecmp.evaluate_patch ~scale ~split ck.topo es.scratch cls
+                    ~dirty:m ~loads:es.loads
+                    ~mark:(fun j -> mark_dirty st j)
+              | Some x ->
+                  let fresh =
+                    Ecmp.evaluate_patch ~scale ~split ~aux:x.xaux.(d) ck.topo
+                      es.scratch cls ~dirty:m ~loads:es.loads
+                      ~mark:(fun j -> mark_dirty st j)
+                  in
+                  ens_note_stuck x d (fresh -. old);
+                  fresh
             in
             stuck := !stuck -. old +. fresh
           end)
@@ -509,7 +636,26 @@ let utilization_ok ck =
       in
       loop 0
 
-let funneling_ok ck ~last_block =
+(* θ check for one extra ensemble matrix: O(1) via the incrementally
+   maintained per-matrix violation count when the delta layer owns valid
+   loads, else a scan of the matrix's own load vector (mirroring
+   [utilization_ok]). *)
+let x_utilization_ok ck es x m =
+  match es.inc with
+  | Some st when st.loads_valid -> x.xn_bad.(m) = 0
+  | _ ->
+      let loads = x.xloads.(m) in
+      let theta = ck.task.Task.theta +. 1e-9 in
+      let n = Array.length loads in
+      let rec loop j =
+        j >= n
+        || (((not (loaded_usable ck loads j))
+            || loads.(j) /. (Topo.circuit ck.topo j).Circuit.capacity <= theta)
+           && loop (j + 1))
+      in
+      loop 0
+
+let funneling_ok_on ck (loads : float array) ~last_block =
   let phi = ck.task.Task.funneling in
   if phi <= 0.0 then true
   else
@@ -519,25 +665,50 @@ let funneling_ok ck ~last_block =
         let block = ck.task.Task.blocks.(b) in
         if block.Blocks.action.Action.op <> Action.Drain then true
         else begin
-          let es = eval_state ck in
           let theta = ck.task.Task.theta +. 1e-9 in
           let circuits = related_circuits ck b in
           Array.for_all
             (fun j ->
-              (not (loaded_usable ck es.loads j))
-              || es.loads.(j) *. (1.0 +. phi)
+              (not (loaded_usable ck loads j))
+              || loads.(j) *. (1.0 +. phi)
                  /. (Topo.circuit ck.topo j).Circuit.capacity
                  <= theta)
             circuits
         end
 
+let funneling_ok ck ~last_block =
+  let phi = ck.task.Task.funneling in
+  if phi <= 0.0 then true
+  else funneling_ok_on ck (eval_state ck).loads ~last_block
+
+(* The demand-side admission predicate shared by [check] and
+   [current_ok].  Single-matrix: the historical stuck/θ/funneling
+   conjunction, verbatim.  Ensemble: one evaluation fills every matrix's
+   loads; matrix 0 rides on the base machinery, the extras read their
+   own vectors, and the state is admitted when at least ⌈q·k⌉ matrices
+   are individually safe. *)
+let demands_ok ck ~last_block =
+  let stuck = eval_demands ck in
+  let es = eval_state ck in
+  match es.ens with
+  | None -> stuck <= 1e-9 && utilization_ok ck && funneling_ok ck ~last_block
+  | Some x ->
+      let safe = ref 0 in
+      if stuck <= 1e-9 && utilization_ok ck && funneling_ok ck ~last_block
+      then incr safe;
+      for m = 0 to Array.length x.xloads - 1 do
+        if
+          x.xstuck.(m) <= 1e-9
+          && x_utilization_ok ck es x m
+          && funneling_ok_on ck x.xloads.(m) ~last_block
+        then incr safe
+      done;
+      !safe >= x.need
+
 let check ?last_block ck v =
   move_to ck v;
   ck.checks <- ck.checks + 1;
-  Topo.ports_ok ck.topo && power_ok ck
-  &&
-  let stuck = eval_demands ck in
-  stuck <= 1e-9 && utilization_ok ck && funneling_ok ck ~last_block
+  Topo.ports_ok ck.topo && power_ok ck && demands_ok ck ~last_block
 
 let checks_performed ck = ck.checks
 
@@ -546,31 +717,47 @@ let unapply_block ck b = set_block ck ck.task.Task.blocks.(b) ~applied:false
 
 let current_ok ?last_block ck =
   ck.checks <- ck.checks + 1;
-  Topo.ports_ok ck.topo && power_ok ck
-  &&
-  let stuck = eval_demands ck in
-  stuck <= 1e-9 && utilization_ok ck && funneling_ok ck ~last_block
+  Topo.ports_ok ck.topo && power_ok ck && demands_ok ck ~last_block
+
+(* Residual headroom of one load vector: the minimum over loaded usable
+   circuits of (θ·W − load)/W; [neg_infinity] when volume is stuck or a
+   circuit exceeds θ. *)
+let residual_on ck (loads : float array) ~stuck =
+  if stuck > 1e-9 then neg_infinity
+  else begin
+    let theta = ck.task.Task.theta in
+    let worst = ref infinity in
+    Array.iteri
+      (fun j load ->
+        if loaded_usable ck loads j then begin
+          let w = (Topo.circuit ck.topo j).Circuit.capacity in
+          let residual = ((theta *. w) -. load) /. w in
+          if residual < !worst then worst := residual
+        end)
+      loads;
+    if !worst < -1e-9 then neg_infinity else !worst
+  end
 
 let current_min_residual ck =
   if not (Topo.ports_ok ck.topo) then neg_infinity
   else begin
     ck.checks <- ck.checks + 1;
     let stuck = eval_demands ck in
-    if stuck > 1e-9 then neg_infinity
-    else begin
-      let es = eval_state ck in
-      let theta = ck.task.Task.theta in
-      let worst = ref infinity in
-      Array.iteri
-        (fun j load ->
-          if loaded_usable ck es.loads j then begin
-            let w = (Topo.circuit ck.topo j).Circuit.capacity in
-            let residual = ((theta *. w) -. load) /. w in
-            if residual < !worst then worst := residual
-          end)
-        es.loads;
-      if !worst < -1e-9 then neg_infinity else !worst
-    end
+    let es = eval_state ck in
+    match es.ens with
+    | None -> residual_on ck es.loads ~stuck
+    | Some x ->
+        (* The quantile residual: admission needs ⌈q·k⌉ safe matrices,
+           so the MRC objective is the worst headroom among the best
+           ⌈q·k⌉ — [neg_infinity] exactly when admission fails, and at
+           q = 1.0 the minimum over all matrices. *)
+        let kx = Array.length x.xloads in
+        let res = Array.make (kx + 1) (residual_on ck es.loads ~stuck) in
+        for m = 0 to kx - 1 do
+          res.(m + 1) <- residual_on ck x.xloads.(m) ~stuck:x.xstuck.(m)
+        done;
+        Array.sort (fun a b -> Float.compare b a) res;
+        res.(x.need - 1)
   end
 
 let check_plan (task : Task.t) blocks =

@@ -30,7 +30,19 @@
       below the 1e-9 verdict slack;
     - optionally, the transient traffic-funneling margin of §7.2 tightens
       the bound to load·(1 + φ) ≤ θ·W on the circuits that absorb the
-      traffic of the block just drained. *)
+      traffic of the block just drained.
+
+    When the task carries a demand {!Ensemble.t} with k > 1 matrices,
+    the demand constraints become the robust admission predicate: one
+    shared ECMP traversal fills a load vector per matrix (flow is linear
+    in class volume, so each extra matrix costs a fused multiply-add per
+    deposited share, not a full check), each matrix's stuck volume, θ
+    bound and funneling margin are judged independently, and the state
+    is admitted when at least ⌈q·k⌉ matrices are safe.  The incremental
+    layer patches all matrices from the same dirty-stage analysis and
+    rechecks the shared dirty circuit set against every matrix.  A task
+    without an ensemble — or with k = 1 — runs the historical
+    single-matrix code bit-identically. *)
 
 type t
 

@@ -14,6 +14,7 @@ type t = {
   type_weights : float array option;
   power : Power.t option;
   adds_layer : bool;
+  ensemble : Ensemble.t option;
   deps : (int * int) array array;
   state_word_count : int;
   block_prefix : int array array array;
@@ -151,6 +152,7 @@ let of_scenario ?(theta = 0.75) ?(alpha = 0.0) ?(funneling = 0.0)
     type_weights;
     power;
     adds_layer = sc.Gen.adds_layer;
+    ensemble = None;
     deps = build_deps sc.Gen.topo blocks_arr compiled;
     state_word_count;
     block_prefix;
@@ -201,6 +203,13 @@ let with_params ?theta ?alpha ?funneling ?routing ?type_weights ?power t =
       (match type_weights with Some w -> Some w | None -> t.type_weights);
     power = (match power with Some p -> Some p | None -> t.power);
   }
+
+let with_ensemble ensemble t =
+  (match ensemble with
+  | Some e when Ensemble.n_classes e <> Array.length t.compiled ->
+      invalid_arg "Task.with_ensemble: class count mismatch"
+  | _ -> ());
+  { t with ensemble }
 
 let with_demand_scales t scales =
   if Array.length scales <> Array.length t.compiled then

@@ -36,6 +36,13 @@ type t = {
           intermediate state must keep each power domain within its
           capacity.  [None] disables. *)
   adds_layer : bool;  (** Propagated from the scenario (DMAG). *)
+  ensemble : Ensemble.t option;
+      (** Robust admission (§7.1 drift): when present with k > 1, the
+          satisfiability checker evaluates every matrix of the ensemble
+          against one shared ECMP traversal and admits a state only when
+          it is safe under at least ⌈q·k⌉ matrices.  [None] (and any
+          k = 1 ensemble) is the historical single-matrix check,
+          bit-identical. *)
   deps : (int * int) array array;
       (** Block→demand dependency index, computed at creation: [deps.(b)]
           lists every [(class, stage mask)] whose compiled stage candidates
@@ -86,6 +93,11 @@ val with_params :
 (** Vary the constraint/cost/routing parameters of an existing task (used
     by the θ and α sweeps of Figures 12–13) without regenerating
     demands. *)
+
+val with_ensemble : Ensemble.t option -> t -> t
+(** Attach (or clear) a demand ensemble.  The factor matrix applies to
+    the task's current calibrated volumes; its class count must match.
+    Carried through remainder tasks and demand rescaling unchanged. *)
 
 val with_demand_scales : t -> float array -> t
 (** Replace the per-class volume scales with absolute values (the scale

@@ -51,6 +51,7 @@ let budget_of (config : Planner.config) =
    states are re-generated and re-checked once per ordering. *)
 let plan ?(config = Planner.default_config) ?(dedup = true) ?spec_width
     (task : Task.t) =
+  let task = Planner.robust_task config task in
   let budget = budget_of config in
   let started = Kutil.Timer.now () in
   let engine =

@@ -9,6 +9,7 @@ let name = "Klotski-DP"
 type cell = { g : float array; prev : int array }
 
 let plan ?(config = Planner.default_config) (task : Task.t) =
+  let task = Planner.robust_task config task in
   let budget =
     match config.Planner.budget_seconds with
     | None -> Budget.unlimited

@@ -6,6 +6,7 @@ exception Out_of_time
 
 let plan ?(config = Planner.default_config) ?(bound = `Cost_only)
     (task : Task.t) =
+  let task = Planner.robust_task config task in
   let prune = bound <> `None in
   let heuristic_bound = bound = `Heuristic in
   let budget =

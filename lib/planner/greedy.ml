@@ -3,6 +3,7 @@ module Budget = Kutil.Timer.Budget
 let name = "Guided greedy"
 
 let plan ?(config = Planner.default_config) (task : Task.t) =
+  let task = Planner.robust_task config task in
   let budget =
     match config.Planner.budget_seconds with
     | None -> Budget.unlimited

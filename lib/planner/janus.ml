@@ -15,6 +15,7 @@ type entry = { g : float; v : Compact.t; last : int }
 let entry_compare a b = Float.compare a.g b.g
 
 let plan ?(config = Planner.default_config) (task : Task.t) =
+  let task = Planner.robust_task config task in
   let started = Kutil.Timer.now () in
   let zero_stats =
     { Planner.expanded = 0; generated = 0; sat_checks = 0; cache_hits = 0;

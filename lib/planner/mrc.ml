@@ -3,6 +3,7 @@ module Budget = Kutil.Timer.Budget
 let name = "MRC"
 
 let plan ?(config = Planner.default_config) (task : Task.t) =
+  let task = Planner.robust_task config task in
   let started = Kutil.Timer.now () in
   let stats checker expanded generated =
     {

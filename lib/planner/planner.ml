@@ -3,10 +3,19 @@ type config = {
   use_cache : bool;
   jobs : int;
   incremental : bool;
+  ensemble : int;
+  quantile : float;
 }
 
 let default_config =
-  { budget_seconds = Some 120.0; use_cache = true; jobs = 1; incremental = true }
+  {
+    budget_seconds = Some 120.0;
+    use_cache = true;
+    jobs = 1;
+    incremental = true;
+    ensemble = 1;
+    quantile = 1.0;
+  }
 
 let with_budget budget_seconds = { default_config with budget_seconds }
 
@@ -15,6 +24,45 @@ let with_jobs jobs config =
   { config with jobs }
 
 let with_incremental incremental config = { config with incremental }
+
+let with_ensemble ?(quantile = 1.0) ensemble config =
+  if ensemble < 1 then
+    invalid_arg "Planner.with_ensemble: ensemble must be >= 1";
+  if not (Float.is_finite quantile) || quantile <= 0.0 || quantile > 1.0 then
+    invalid_arg "Planner.with_ensemble: quantile must be in (0, 1]";
+  { config with ensemble; quantile }
+
+(* Horizon of the default ensemble: matrices sample the forecast out to
+   this many weeks, roughly the plan-execution span §7.1 describes. *)
+let ensemble_horizon_weeks = 8
+
+(* Resolve the config's ensemble request against the task, at every
+   planner's entry.  A task that already carries an ensemble wins (the
+   caller constructed it deliberately); otherwise k > 1 attaches a
+   deterministic default built from a fixed-seed forecast over the
+   task's own classes — the same matrices in any process and at any job
+   count.  k = 1 leaves the task untouched: the single-matrix path. *)
+let robust_task config (task : Task.t) =
+  if config.ensemble <= 1 || Option.is_some task.Task.ensemble then task
+  else begin
+    let names =
+      Array.of_list
+        (List.map (fun (d : Demand.t) -> d.Demand.name) task.Task.demands)
+    in
+    (* Gentler than the forecast defaults: the ensemble must leave the
+       task feasible under typical theta headroom, or robustness would
+       veto every plan.  0.5%/week over the 8-week horizon with 25%
+       surges caps any factor near 1.3x. *)
+    let fc =
+      Forecast.create ~weekly_growth:0.005 ~spike_magnitude:0.25
+        ~prng:(Kutil.Prng.create ~seed:0x6b6c6f74) ()
+    in
+    Task.with_ensemble
+      (Some
+         (Ensemble.generate ~quantile:config.quantile ~k:config.ensemble
+            ~horizon_weeks:ensemble_horizon_weeks fc ~class_names:names))
+      task
+  end
 
 type stats = {
   expanded : int;

@@ -20,6 +20,17 @@ type config = {
           (default [true]; see {!Constraint.create}).  [false] runs the
           historical full ECMP replay on every check — verdicts, plans and
           costs are identical either way. *)
+  ensemble : int;
+      (** Robust planning: number of demand matrices k to plan against
+          (default [1] — the historical single-matrix admission,
+          bit-identical).  With k > 1, planners attach a deterministic
+          forecast ensemble to the task ({!robust_task}) unless the task
+          already carries one, and every satisfiability check judges all
+          k matrices. *)
+  quantile : float;
+      (** CVaR-style admission quantile q (default [1.0]): a state is
+          admitted when safe under at least ⌈q·k⌉ of the k matrices.
+          q = 1.0 demands safety under all of them. *)
 }
 
 val default_config : config
@@ -34,6 +45,24 @@ val with_jobs : int -> config -> config
 
 val with_incremental : bool -> config -> config
 (** [with_incremental b config] toggles incremental demand evaluation. *)
+
+val with_ensemble : ?quantile:float -> int -> config -> config
+(** [with_ensemble ?quantile k config] plans against k demand matrices
+    with admission quantile [quantile] (default 1.0).  Raises
+    [Invalid_argument] when [k < 1] or the quantile leaves (0, 1]. *)
+
+val ensemble_horizon_weeks : int
+(** Forecast horizon (weeks) the default ensemble spreads its growth
+    percentiles over; exported so tests and benchmarks can rebuild the
+    exact matrices {!robust_task} attaches. *)
+
+val robust_task : config -> Task.t -> Task.t
+(** The task every planner actually plans: with [config.ensemble] > 1
+    and no ensemble on the task, attaches a deterministic default built
+    from a fixed-seed {!Forecast.t} over the task's classes
+    ({!Ensemble.generate}); a task-carried ensemble always wins, and
+    k = 1 returns the task unchanged.  All planners call this at entry,
+    so a config is interpreted identically everywhere. *)
 
 type stats = {
   expanded : int;  (** States popped / steps committed. *)

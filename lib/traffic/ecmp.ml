@@ -133,6 +133,27 @@ let make_scratch u =
 
 type result = { delivered : float; stuck : float }
 
+(* Auxiliary ensemble deposits: flow is linear in class volume, so a
+   matrix that scales this class by [f] loads every circuit with exactly
+   [f] times the base share.  Each (loads, factor) pair mirrors every
+   base deposit, scaled — one traversal serves all matrices.  [aux]
+   defaults to empty everywhere, leaving the base float stream
+   untouched. *)
+let aux_add (aux : (float array * float) array) j share =
+  for x = 0 to Array.length aux - 1 do
+    let l, f = aux.(x) in
+    l.(j) <- l.(j) +. (share *. f)
+  done
+
+(* Subtracting [share *. f] recomputes the very product [aux_add]
+   deposited (same operands), so a patch's stale-share removal cancels
+   exactly as it does on the base loads. *)
+let aux_sub (aux : (float array * float) array) j share =
+  for x = 0 to Array.length aux - 1 do
+    let l, f = aux.(x) in
+    l.(j) <- l.(j) -. (share *. f)
+  done
+
 let ensure_useful sc count =
   if Array.length sc.useful < count then begin
     (* Scratch arrays are sized to the universe's switch count. *)
@@ -162,7 +183,7 @@ let compute_useful topo sc c =
   ensure_useful sc (Array.length c.stages + 1);
   useful_sweep topo c sc.useful
 
-let evaluate ?(scale = 1.0) ?(split = `Equal) topo sc c ~loads =
+let evaluate ?(scale = 1.0) ?(split = `Equal) ?(aux = [||]) topo sc c ~loads =
   let weighted = split = `Capacity_weighted in
   compute_useful topo sc c;
   let stuck = ref 0.0 in
@@ -219,6 +240,7 @@ let evaluate ?(scale = 1.0) ?(split = `Equal) topo sc c ~loads =
           else v /. float_of_int sc.cand.(prev)
         in
         loads.(j) <- loads.(j) +. share;
+        aux_add aux j share;
         if Float.equal sc.nvol.(next) 0.0 then Ivec.push sc.ntouched next;
         sc.nvol.(next) <- sc.nvol.(next) +. share
       end
@@ -325,7 +347,7 @@ let class_stuck st = st.class_stuck
    in [sc.vol]/[sc.touched]; useful sets are read from [st.usnap].  The
    arithmetic mirrors [evaluate] exactly — the recording is the only
    addition — so a rebuild computes the same loads as the plain path. *)
-let forward_record ~weighted ~from_ topo sc st ~loads ~mark =
+let forward_record ~weighted ~from_ ~aux topo sc st ~loads ~mark =
   let c = st.ic in
   let n_stages = Array.length c.stages in
   let suffix_stuck = ref 0.0 in
@@ -377,6 +399,7 @@ let forward_record ~weighted ~from_ topo sc st ~loads ~mark =
           else v /. float_of_int sc.cand.(prev)
         in
         loads.(j) <- loads.(j) +. share;
+        aux_add aux j share;
         mark j;
         Fvec.push sr.contrib j share;
         if Float.equal sc.nvol.(next) 0.0 then Ivec.push sc.ntouched next;
@@ -422,19 +445,20 @@ let load_sources sc c ~scale =
       sc.vol.(s) <- sc.vol.(s) +. (v *. scale))
     c.sources
 
-let evaluate_rebuild ?(scale = 1.0) ?(split = `Equal) topo sc st ~loads =
+let evaluate_rebuild ?(scale = 1.0) ?(split = `Equal) ?(aux = [||]) topo sc st
+    ~loads =
   let weighted = split = `Capacity_weighted in
   useful_sweep topo st.ic st.usnap;
   load_sources sc st.ic ~scale;
   let stuck =
-    forward_record ~weighted ~from_:0 topo sc st ~loads ~mark:ignore
+    forward_record ~weighted ~from_:0 ~aux topo sc st ~loads ~mark:ignore
   in
   st.class_stuck <- stuck;
   st.valid <- true;
   stuck
 
-let evaluate_patch ?(scale = 1.0) ?(split = `Equal) topo sc st ~dirty ~loads
-    ~mark =
+let evaluate_patch ?(scale = 1.0) ?(split = `Equal) ?(aux = [||]) topo sc st
+    ~dirty ~loads ~mark =
   if not st.valid then
     invalid_arg "Ecmp.evaluate_patch: no previous evaluation to patch";
   let weighted = split = `Capacity_weighted in
@@ -489,6 +513,7 @@ let evaluate_patch ?(scale = 1.0) ?(split = `Equal) topo sc st ~dirty ~loads
     for i = 0 to ctr.Fvec.len - 1 do
       let j = ctr.Fvec.js.(i) in
       loads.(j) <- loads.(j) -. ctr.Fvec.vs.(i);
+      aux_sub aux j ctr.Fvec.vs.(i);
       mark j
     done
   done;
@@ -506,6 +531,8 @@ let evaluate_patch ?(scale = 1.0) ?(split = `Equal) topo sc st ~dirty ~loads
       Ivec.push sc.touched s
     done
   end;
-  let suffix_stuck = forward_record ~weighted ~from_:r topo sc st ~loads ~mark in
+  let suffix_stuck =
+    forward_record ~weighted ~from_:r ~aux topo sc st ~loads ~mark
+  in
   st.class_stuck <- !prefix_stuck +. suffix_stuck;
   st.class_stuck

@@ -78,12 +78,13 @@ type result = {
 val evaluate :
   ?scale:float ->
   ?split:[ `Equal | `Capacity_weighted ] ->
+  ?aux:(float array * float) array ->
   Topo.t ->
   scratch ->
   compiled ->
   loads:float array ->
   result
-(** [evaluate ?scale ?split topo scratch c ~loads] pushes the class's
+(** [evaluate ?scale ?split ?aux topo scratch c ~loads] pushes the class's
     volume (times [scale], default 1.0 — flow is linear in volume, so
     demand calibration and forecast growth reuse one compilation) through
     the {e currently usable} circuits of [topo], adding every circuit's
@@ -95,6 +96,13 @@ val evaluate :
     capacity; [`Capacity_weighted] splits proportionally to circuit
     capacity, modeling the temporary routing configurations operators
     deploy when generations of different capacity coexist (§7.1).
+
+    [aux] (default empty) is the ensemble hook: each ([loads'], [f])
+    pair receives every base deposit scaled by [f] — flow is linear in
+    class volume, so [loads'] accumulates exactly the load the class
+    would place if its volume were scaled by [f].  One traversal thus
+    serves every matrix of a demand ensemble.  With [aux] empty the
+    base float stream is bit-identical to the historical evaluation.
 
     Deterministic; [delivered +. stuck] equals [scale *. source_volume c]
     up to rounding. *)
@@ -120,6 +128,7 @@ val class_stuck : inc -> float
 val evaluate_rebuild :
   ?scale:float ->
   ?split:[ `Equal | `Capacity_weighted ] ->
+  ?aux:(float array * float) array ->
   Topo.t ->
   scratch ->
   inc ->
@@ -128,11 +137,13 @@ val evaluate_rebuild :
 (** Full evaluation that (re)captures the incremental state and adds the
     class's shares into [loads] (which the caller has zeroed or otherwise
     cleared of this class's contributions).  Same arithmetic as
-    {!evaluate}; returns the stuck volume. *)
+    {!evaluate}, including the ensemble [aux] deposits; returns the stuck
+    volume. *)
 
 val evaluate_patch :
   ?scale:float ->
   ?split:[ `Equal | `Capacity_weighted ] ->
+  ?aux:(float array * float) array ->
   Topo.t ->
   scratch ->
   inc ->
@@ -143,7 +154,9 @@ val evaluate_patch :
 (** Delta evaluation against the state captured by the last rebuild or
     patch.  [dirty] is a stage bitmask covering {e every} stage whose
     candidate circuits may have changed usability since then (bit [k] =
-    stage [k]); [scale]/[split] must match the previous evaluation.
+    stage [k]); [scale]/[split]/[aux] must match the previous evaluation
+    (stale aux shares are subtracted with the same factors they were
+    added with, so they cancel exactly).
 
     The useful sets are re-derived from scratch and compared with the
     snapshot: stages before the first dirty stage whose consulted useful

@@ -34,9 +34,16 @@ let spike_draw t ~week ~class_name =
   let g = Prng.create ~seed:(t.seed lxor (h * 2654435761)) in
   Prng.float g 1.0
 
+let growth_at t ~week =
+  if week < 0 then invalid_arg "Forecast.growth_at: negative week";
+  (1.0 +. t.weekly_growth) ** float_of_int week
+
+let spike_magnitude t = t.spike_magnitude
+let spike_probability t = t.spike_probability
+
 let scale_at t ~week ~class_name =
   if week < 0 then invalid_arg "Forecast.scale_at: negative week";
-  let growth = (1.0 +. t.weekly_growth) ** float_of_int week in
+  let growth = growth_at t ~week in
   let spike =
     if week > 0 && spike_draw t ~week ~class_name < t.spike_probability then
       1.0 +. t.spike_magnitude

@@ -27,5 +27,23 @@ val scale_at : t -> week:int -> class_name:string -> float
     ([week = 0] is the plan's start; factor 1.0).  Spikes are drawn
     reproducibly from the model's PRNG keyed by (week, class). *)
 
+val growth_at : t -> week:int -> float
+(** The pure compounding-growth component of {!scale_at}: the factor
+    every class shares at [week] before any spike.  Raises on a negative
+    week. *)
+
+val spike_draw : t -> week:int -> class_name:string -> float
+(** The deterministic uniform [0, 1) draw behind a (week, class) spike
+    decision — a spike fires when the draw falls below the model's spike
+    probability.  Exposed so ensemble construction ({!Ensemble}) can
+    force spike scenarios from the same seeded stream the forecast
+    itself uses. *)
+
+val spike_magnitude : t -> float
+(** The multiplicative surge size (0.5 = +50%). *)
+
+val spike_probability : t -> float
+(** The per-week per-class spike probability. *)
+
 val apply : t -> week:int -> Demand.t list -> Demand.t list
 (** Scale every class of a demand set to its forecast at [week]. *)

@@ -21,6 +21,7 @@ let () =
       Suite_planners.suite;
       Suite_parallel.suite;
       Suite_incremental.suite;
+      Suite_robust.suite;
       Suite_overlay.suite;
       Suite_plan.suite;
       Suite_npd.suite;
