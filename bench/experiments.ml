@@ -460,11 +460,14 @@ let ext opts =
    jobs=N on the Table-3 topologies.  Wall-clock times and speedups are
    also dumped to BENCH_PARALLEL.json for the record. *)
 
-let write_parallel_json path rows =
+let write_parallel_json ?skipped_reason path rows =
   let oc = open_out path in
   Printf.fprintf oc "{\n  \"experiment\": \"parallel-planning\",\n";
-  Printf.fprintf oc "  \"cores\": %d,\n  \"rows\": [\n"
-    (Domain.recommended_domain_count ());
+  Printf.fprintf oc "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
+  (match skipped_reason with
+  | Some reason -> Printf.fprintf oc "  \"skipped_reason\": %S,\n" reason
+  | None -> ());
+  Printf.fprintf oc "  \"rows\": [\n";
   let n = List.length rows in
   List.iteri
     (fun i (label, jobs_n, t1, tn, same_cost) ->
@@ -479,8 +482,7 @@ let write_parallel_json path rows =
   Printf.fprintf oc "  ]\n}\n";
   close_out oc
 
-let par opts =
-  Runner.heading "Parallel planning: satisfiability engine, jobs=1 vs jobs=N";
+let par_measured opts =
   let jobs_list = [ 2; 4; 8 ] in
   Runner.note
     (Printf.sprintf
@@ -548,6 +550,22 @@ let par opts =
   let path = "BENCH_PARALLEL.json" in
   write_parallel_json path (List.rev !rows);
   Runner.note (Printf.sprintf "wrote %s" path)
+
+let par opts =
+  Runner.heading "Parallel planning: satisfiability engine, jobs=1 vs jobs=N";
+  (* On a single-core host jobs=N degenerates to sequential execution
+     plus dispatch overhead; a table of speedups near 1.0x would only
+     invite misreading.  Record why the rows are absent instead. *)
+  if Domain.recommended_domain_count () = 1 then begin
+    Runner.note
+      "Single-core host: jobs=N cannot beat jobs=1 here, so speedup rows \
+       would only measure dispatch overhead.  Skipping the measurements \
+       and recording the reason in the JSON artifact.";
+    let path = "BENCH_PARALLEL.json" in
+    write_parallel_json ~skipped_reason:"single-core host" path [];
+    Runner.note (Printf.sprintf "wrote %s" path)
+  end
+  else par_measured opts
 
 (* ------------------------------------------------------------------ *)
 (* Incremental satisfiability: full ECMP replay per check vs the
@@ -1046,6 +1064,183 @@ let robust opts =
   write_robust_json path (List.rev !rows) (List.rev !sims);
   Runner.note (Printf.sprintf "wrote %s" path)
 
+(* ------------------------------------------------------------------ *)
+(* Scale: the memory/latency trajectory C -> E -> F.  For each tier we
+   time scenario generation and task construction, plan with all four
+   planners, and record the packed universe's footprint plus the
+   process's peak RSS (VmHWM — monotonic, so tiers must run smallest
+   first).  Dumped to BENCH_SCALE.json for the record. *)
+
+(* The packed layout books 8 B/circuit for each of five parallel arrays
+   (endpoints x2, capacity, rank pair, a share of port budgets) plus two
+   adjacency slots; 96 B/circuit leaves headroom for switch records and
+   the name index without hiding a regression to record-per-circuit
+   storage (~3x this). *)
+let scale_bytes_per_circuit_budget = 96.0
+
+let write_scale_json path rows =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"experiment\": \"scale\",\n";
+  Printf.fprintf oc "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
+  Printf.fprintf oc "  \"universe_bytes_per_circuit_budget\": %.1f,\n"
+    scale_bytes_per_circuit_budget;
+  Printf.fprintf oc "  \"rows\": [\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i
+         ( label, switches, circuits, scenario_s, task_s, ubytes, peak_kb,
+           planners, same_cost ) ->
+      Printf.fprintf oc
+        "    {\"topology\": %S, \"switches\": %d, \"circuits\": %d,\n\
+        \     \"scenario_seconds\": %.3f, \"task_seconds\": %.3f,\n\
+        \     \"universe_bytes\": %d, \"universe_bytes_per_circuit\": %.1f,\n\
+        \     \"peak_rss_kb\": %s, \"same_cost\": %b,\n\
+        \     \"planners\": [\n"
+        label switches circuits scenario_s task_s ubytes
+        (float_of_int ubytes /. float_of_int (max 1 circuits))
+        (match peak_kb with Some kb -> string_of_int kb | None -> "null")
+        same_cost;
+      let np = List.length planners in
+      List.iteri
+        (fun k (pname, seconds, cost, outcome, checks) ->
+          Printf.fprintf oc
+            "      {\"planner\": %S, \"seconds\": %.3f, \"cost\": %s, \
+             \"outcome\": %S, \"sat_checks\": %d}%s\n"
+            pname seconds
+            (match cost with
+            | Some c -> Printf.sprintf "%.6f" c
+            | None -> "null")
+            outcome checks
+            (if k = np - 1 then "" else ","))
+        planners;
+      Printf.fprintf oc "    ]}%s\n" (if i = n - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
+let scale opts =
+  Runner.heading "Scale: memory and plan latency, C -> E -> F";
+  Runner.note
+    "Universe/task build time, plan wall-clock for all four planners, the \
+     packed universe's footprint and the process peak RSS per tier.  Peak \
+     RSS is the kernel's VmHWM high-water mark and only ever rises, so \
+     tiers run smallest-first and each row bounds everything up to and \
+     including that tier.  same_cost asserts that A* incremental and \
+     full-evaluation planning agree on the plan cost.";
+  let tiers = if opts.quick then [ "C"; "F-LITE" ] else [ "C"; "E"; "F" ] in
+  let t =
+    Table_fmt.create
+      ~headers:
+        [ "Topology"; "Switches"; "Circuits"; "Univ (s)"; "Univ (MiB)";
+          "B/circ"; "Planner"; "Plan (s)"; "Cost"; "Peak RSS (MiB)" ]
+  in
+  let outcome_string r =
+    match r.Planner.outcome with
+    | Planner.Found _ -> "found"
+    | Planner.Infeasible -> "infeasible"
+    | Planner.Timeout _ -> "timeout"
+    | Planner.Unsupported _ -> "unsupported"
+  in
+  let rows = ref [] in
+  let budget_ok = ref true in
+  List.iter
+    (fun label ->
+      (* Build outside the memo caches so F's ~1M-circuit universe and
+         task become garbage once the tier completes, instead of pinning
+         peak RSS for the rest of the run. *)
+      Printf.printf "  %s: generating...\n%!" label;
+      Gc.compact ();
+      let t0 = Kutil.Timer.now () in
+      let sc = Gen.scenario_of_label label in
+      let scenario_s = Kutil.Timer.now () -. t0 in
+      let u = Topo.universe sc.Gen.topo in
+      let switches = Universe.n_switches u
+      and circuits = Universe.n_circuits u in
+      let ubytes =
+        List.fold_left (fun acc (_, b) -> acc + b) 0 (Universe.footprint u)
+      in
+      let per_circuit =
+        float_of_int ubytes /. float_of_int (max 1 circuits)
+      in
+      if per_circuit > scale_bytes_per_circuit_budget then budget_ok := false;
+      let t0 = Kutil.Timer.now () in
+      let task = Task.of_scenario sc in
+      let task_s = Kutil.Timer.now () -. t0 in
+      let planned =
+        List.map
+          (fun (pname, plan) ->
+            Printf.printf "  %s: %s...\n%!" label pname;
+            let r = plan ~config:(cfg opts) task in
+            ( pname, r.Planner.stats.Planner.elapsed, Planner.cost_of r,
+              outcome_string r, r.Planner.stats.Planner.sat_checks ))
+          [
+            ("MRC", fun ~config task -> Mrc.plan ~config task);
+            ("Janus", fun ~config task -> Janus.plan ~config task);
+            ("Klotski-DP", fun ~config task -> Dp.plan ~config task);
+          ]
+      in
+      Printf.printf "  %s: Klotski-A*...\n%!" label;
+      let astar = Astar.plan ~config:(cfg opts) task in
+      let full =
+        Astar.plan ~config:(Planner.with_incremental false (cfg opts)) task
+      in
+      let same_cost =
+        match (Planner.cost_of astar, Planner.cost_of full) with
+        | Some a, Some b -> Float.abs (a -. b) < 1e-9
+        | None, None -> true
+        | _ -> false
+      in
+      let planned =
+        planned
+        @ [
+            ( "Klotski-A*", astar.Planner.stats.Planner.elapsed,
+              Planner.cost_of astar, outcome_string astar,
+              astar.Planner.stats.Planner.sat_checks );
+          ]
+      in
+      let peak_kb = Kutil.Meminfo.peak_rss_kb () in
+      List.iteri
+        (fun k (pname, seconds, cost, outcome, _checks) ->
+          let first = k = 0 in
+          Table_fmt.add_row t
+            [
+              (if first then label else "");
+              (if first then string_of_int switches else "");
+              (if first then string_of_int circuits else "");
+              (if first then Printf.sprintf "%.2f" scenario_s else "");
+              (if first then
+                 Printf.sprintf "%.1f" (float_of_int ubytes /. 1048576.0)
+               else "");
+              (if first then Printf.sprintf "%.0f" per_circuit else "");
+              pname;
+              Printf.sprintf "%.3f" seconds;
+              (match cost with
+              | Some c -> Printf.sprintf "%.1f" c
+              | None -> outcome);
+              (if k = List.length planned - 1 then
+                 match peak_kb with
+                 | Some kb ->
+                     Printf.sprintf "%.1f" (float_of_int kb /. 1024.0)
+                 | None -> "n/a"
+               else "");
+            ])
+        planned;
+      rows :=
+        ( label, switches, circuits, scenario_s, task_s, ubytes, peak_kb,
+          planned, same_cost )
+        :: !rows)
+    tiers;
+  Table_fmt.print ~align:Table_fmt.Right t;
+  Runner.note
+    (Printf.sprintf
+       "memory budget: %.0f bytes of packed universe per circuit — %s"
+       scale_bytes_per_circuit_budget
+       (if !budget_ok then "all tiers within budget"
+        else "BUDGET EXCEEDED on at least one tier"));
+  let path = "BENCH_SCALE.json" in
+  write_scale_json path (List.rev !rows);
+  Runner.note (Printf.sprintf "wrote %s" path)
+
 let all = [
   ("table1", table1);
   ("table3", table3);
@@ -1060,4 +1255,5 @@ let all = [
   ("overlay", overlay);
   ("robust", robust);
   ("ext", ext);
+  ("scale", scale);
 ]

@@ -108,23 +108,24 @@ let attach_future_circuits topo blocks =
     (fun b -> Array.iter (fun c -> Hashtbl.replace claimed c ()) b.circuits)
     blocks;
   let extra = Hashtbl.create 16 in
-  Array.iter
-    (fun (c : Circuit.t) ->
-      let j = c.Circuit.id in
-      if (not (Topo.circuit_active topo j)) && not (Hashtbl.mem claimed j) then begin
-        let block_of s = Hashtbl.find_opt owner s in
-        match (block_of c.Circuit.lo, block_of c.Circuit.hi) with
-        | Some b, _ | None, Some b ->
-            let prev =
-              match Hashtbl.find_opt extra b with Some l -> l | None -> []
-            in
-            Hashtbl.replace extra b (j :: prev)
-        | None, None ->
-            invalid_arg
-              (Printf.sprintf
-                 "Blocks: future circuit %d has no owning undrain block" j)
-      end)
-    (Topo.circuits topo);
+  for j = 0 to Topo.n_circuits topo - 1 do
+    if (not (Topo.circuit_active topo j)) && not (Hashtbl.mem claimed j) then begin
+      let block_of s = Hashtbl.find_opt owner s in
+      match
+        ( block_of (Topo.endpoint_lo topo j),
+          block_of (Topo.endpoint_hi topo j) )
+      with
+      | Some b, _ | None, Some b ->
+          let prev =
+            match Hashtbl.find_opt extra b with Some l -> l | None -> []
+          in
+          Hashtbl.replace extra b (j :: prev)
+      | None, None ->
+          invalid_arg
+            (Printf.sprintf
+               "Blocks: future circuit %d has no owning undrain block" j)
+    end
+  done;
   List.map
     (fun b ->
       match Hashtbl.find_opt extra b.id with

@@ -345,35 +345,30 @@ let related_circuits ck b =
       let in_block = Hashtbl.create 16 in
       Array.iter (fun s -> Hashtbl.replace in_block s ()) block.Blocks.switches;
       let neighbors = Hashtbl.create 64 in
-      let note_neighbor j s =
-        let other = Circuit.other_end (Universe.circuit u j) s in
+      let note_neighbor s j =
+        let other = Universe.other_endpoint u j s in
         if not (Hashtbl.mem in_block other) then
           Hashtbl.replace neighbors other ()
       in
       Array.iter
-        (fun s ->
-          Array.iter (fun j -> note_neighbor j s) (Universe.up_circuits u s);
-          Array.iter (fun j -> note_neighbor j s) (Universe.down_circuits u s))
+        (fun s -> Universe.iter_incident u s ~f:(note_neighbor s))
         block.Blocks.switches;
       Array.iter
         (fun j ->
-          let c = Universe.circuit u j in
-          Hashtbl.replace neighbors c.Circuit.lo ();
-          Hashtbl.replace neighbors c.Circuit.hi ())
+          Hashtbl.replace neighbors (Universe.endpoint_lo u j) ();
+          Hashtbl.replace neighbors (Universe.endpoint_hi u j) ())
         block.Blocks.circuits;
       let acc = Hashtbl.create 256 in
       Hashtbl.iter
         (fun s () ->
           let keep j =
-            let c = Universe.circuit u j in
             if
               not
-                (Hashtbl.mem in_block c.Circuit.lo
-                || Hashtbl.mem in_block c.Circuit.hi)
+                (Hashtbl.mem in_block (Universe.endpoint_lo u j)
+                || Hashtbl.mem in_block (Universe.endpoint_hi u j))
             then Hashtbl.replace acc j ()
           in
-          Array.iter keep (Universe.up_circuits u s);
-          Array.iter keep (Universe.down_circuits u s))
+          Universe.iter_incident u s ~f:keep)
         neighbors;
       let circuits = Array.of_seq (Hashtbl.to_seq_keys acc) in
       Array.sort Int.compare circuits;
@@ -438,8 +433,7 @@ let eval_demands_full ck es =
 
 let circuit_bad_on ck (loads : float array) j =
   loaded_usable ck loads j
-  && loads.(j) /. (Topo.circuit ck.topo j).Circuit.capacity
-     > ck.task.Task.theta +. 1e-9
+  && loads.(j) /. Topo.capacity ck.topo j > ck.task.Task.theta +. 1e-9
 
 let circuit_bad ck es j = circuit_bad_on ck es.loads j
 
@@ -520,9 +514,7 @@ let mark_block_circuits ck st =
     let block = ck.task.Task.blocks.(st.pending.(i)) in
     Array.iter (fun j -> mark_dirty st j) block.Blocks.circuits;
     Array.iter
-      (fun s ->
-        Array.iter (fun j -> mark_dirty st j) (Topo.up_circuits ck.topo s);
-        Array.iter (fun j -> mark_dirty st j) (Topo.down_circuits ck.topo s))
+      (fun s -> Topo.iter_incident ck.topo s ~f:(fun j -> mark_dirty st j))
       block.Blocks.switches
   done
 
@@ -630,8 +622,7 @@ let utilization_ok ck =
       let rec loop j =
         j >= n
         || (((not (loaded_usable ck es.loads j))
-            || es.loads.(j) /. (Topo.circuit ck.topo j).Circuit.capacity
-               <= theta)
+            || es.loads.(j) /. Topo.capacity ck.topo j <= theta)
            && loop (j + 1))
       in
       loop 0
@@ -650,7 +641,7 @@ let x_utilization_ok ck es x m =
       let rec loop j =
         j >= n
         || (((not (loaded_usable ck loads j))
-            || loads.(j) /. (Topo.circuit ck.topo j).Circuit.capacity <= theta)
+            || loads.(j) /. Topo.capacity ck.topo j <= theta)
            && loop (j + 1))
       in
       loop 0
@@ -670,9 +661,7 @@ let funneling_ok_on ck (loads : float array) ~last_block =
           Array.for_all
             (fun j ->
               (not (loaded_usable ck loads j))
-              || loads.(j) *. (1.0 +. phi)
-                 /. (Topo.circuit ck.topo j).Circuit.capacity
-                 <= theta)
+              || loads.(j) *. (1.0 +. phi) /. Topo.capacity ck.topo j <= theta)
             circuits
         end
 
@@ -730,7 +719,7 @@ let residual_on ck (loads : float array) ~stuck =
     Array.iteri
       (fun j load ->
         if loaded_usable ck loads j then begin
-          let w = (Topo.circuit ck.topo j).Circuit.capacity in
+          let w = Topo.capacity ck.topo j in
           let residual = ((theta *. w) -. load) /. w in
           if residual < !worst then worst := residual
         end)
@@ -810,7 +799,7 @@ let evaluate_current ck =
   Array.iteri
     (fun j load ->
       if loaded_usable ck es.loads j then begin
-        let u = load /. (Topo.circuit ck.topo j).Circuit.capacity in
+        let u = load /. Topo.capacity ck.topo j in
         if u > top_u.(4) then begin
           let k = ref 4 in
           while !k > 0 && u > top_u.(!k - 1) do

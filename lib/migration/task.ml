@@ -29,28 +29,32 @@ type t = {
 let build_deps topo blocks compiled =
   let n_sw = Topo.n_switches topo and n_ci = Topo.n_circuits topo in
   let n_classes = Array.length compiled in
-  let sw_mask = Array.make_matrix n_classes n_sw 0 in
-  let ci_mask = Array.make_matrix n_classes n_ci 0 in
-  Array.iteri
-    (fun d (c, _) ->
-      let sw = sw_mask.(d) and ci = ci_mask.(d) in
-      Ecmp.iter_candidates c ~f:(fun ~stage ~circuit ~prev ~next ->
-          let bit = 1 lsl min stage 61 in
-          ci.(circuit) <- ci.(circuit) lor bit;
-          sw.(prev) <- sw.(prev) lor bit;
-          sw.(next) <- sw.(next) lor bit))
-    compiled;
-  Array.map
-    (fun (b : Blocks.t) ->
-      let pairs = ref [] in
-      for d = n_classes - 1 downto 0 do
+  (* One reusable mask buffer per dimension, refilled class by class:
+     O(n_sw + n_ci) scratch instead of per-class matrices, which at the F
+     tier (~1M circuits x dozens of classes) would dominate peak RSS.
+     Classes walk d = n_classes-1 downto 0 prepending, so each block's
+     pair list comes out in increasing d order — same arrays as the
+     matrix formulation. *)
+  let sw = Array.make n_sw 0 and ci = Array.make n_ci 0 in
+  let pairs = Array.make (Array.length blocks) [] in
+  for d = n_classes - 1 downto 0 do
+    Array.fill sw 0 n_sw 0;
+    Array.fill ci 0 n_ci 0;
+    let c, _ = compiled.(d) in
+    Ecmp.iter_candidates c ~f:(fun ~stage ~circuit ~prev ~next ->
+        let bit = 1 lsl min stage 61 in
+        ci.(circuit) <- ci.(circuit) lor bit;
+        sw.(prev) <- sw.(prev) lor bit;
+        sw.(next) <- sw.(next) lor bit);
+    Array.iteri
+      (fun i (b : Blocks.t) ->
         let m = ref 0 in
-        Array.iter (fun s -> m := !m lor sw_mask.(d).(s)) b.Blocks.switches;
-        Array.iter (fun j -> m := !m lor ci_mask.(d).(j)) b.Blocks.circuits;
-        if !m <> 0 then pairs := (d, !m) :: !pairs
-      done;
-      Array.of_list !pairs)
-    blocks
+        Array.iter (fun s -> m := !m lor sw.(s)) b.Blocks.switches;
+        Array.iter (fun j -> m := !m lor ci.(j)) b.Blocks.circuits;
+        if !m <> 0 then pairs.(i) <- (d, !m) :: pairs.(i))
+      blocks
+  done;
+  Array.map Array.of_list pairs
 
 (* Lower the compact representation to per-block activity masks: block
    [b] owns bit [b mod 63] of word [b / 63], and [block_prefix.(a).(k)]

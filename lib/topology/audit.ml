@@ -35,7 +35,7 @@ let check_rsw_uplinks (sc : Gen.scenario) topo acc =
   Array.fold_left
     (fun acc (s : Switch.t) ->
       if s.Switch.role = Switch.RSW && Topo.switch_active topo s.Switch.id then begin
-        let ups = Array.length (Topo.up_circuits topo s.Switch.id) in
+        let ups = Topo.up_degree topo s.Switch.id in
         if ups <> expected then
           {
             severity = `Error;
@@ -73,17 +73,15 @@ let check_stripes (sc : Gen.scenario) topo acc =
     (fun acc (s : Switch.t) ->
       if s.Switch.role = Switch.SSW && Topo.switch_active topo s.Switch.id then begin
         let hits = Hashtbl.create 8 in
-        Array.iter
-          (fun j ->
+        Topo.iter_up topo s.Switch.id ~f:(fun j ->
             if Topo.usable topo j then begin
-              let other = (Topo.circuit topo j).Circuit.hi in
+              let other = Topo.endpoint_hi topo j in
               match Hashtbl.find_opt grid_of other with
               | Some key ->
                   Hashtbl.replace hits key
                     (1 + Option.value ~default:0 (Hashtbl.find_opt hits key))
               | None -> ()
-            end)
-          (Topo.up_circuits topo s.Switch.id);
+            end);
         let acc = ref acc in
         (* Sorted traversal: finding order is part of the report and
            must not depend on hash layout (R3 discipline). *)
@@ -183,18 +181,17 @@ let target_state (sc : Gen.scenario) =
       List.iter (fun j -> Topo.set_circuit_active topo j false) circuits)
     sc.Gen.drain_circuit_groups;
   (* Future circuits whose endpoints are now up come alive with them. *)
-  Array.iter
-    (fun (c : Circuit.t) ->
-      if
-        (not (Topo.circuit_active topo c.Circuit.id))
-        && Topo.switch_active topo c.Circuit.lo
-        && Topo.switch_active topo c.Circuit.hi
-        && not
-             (List.exists
-                (fun (_, circuits) -> List.mem c.Circuit.id circuits)
-                sc.Gen.drain_circuit_groups)
-      then Topo.set_circuit_active topo c.Circuit.id true)
-    (Topo.circuits topo);
+  for j = 0 to Topo.n_circuits topo - 1 do
+    if
+      (not (Topo.circuit_active topo j))
+      && Topo.switch_active topo (Topo.endpoint_lo topo j)
+      && Topo.switch_active topo (Topo.endpoint_hi topo j)
+      && not
+           (List.exists
+              (fun (_, circuits) -> List.mem j circuits)
+              sc.Gen.drain_circuit_groups)
+    then Topo.set_circuit_active topo j true
+  done;
   topo
 
 let scenario (sc : Gen.scenario) =

@@ -1,58 +1,107 @@
-type pending_switch = { sw : Switch.t; future : bool }
-type pending_circuit = { ci : Circuit.t; cfuture : bool }
+(* Streams declarations straight into growable flat arrays — the same
+   packed layout [Universe.create_packed] freezes — so building an
+   F-scale topology (~1M circuits) allocates no per-circuit records and
+   no intermediate lists.  Ranks and future flags live in byte buffers;
+   amortized doubling keeps appends O(1). *)
 
 type t = {
-  mutable rev_switches : pending_switch list;
-  mutable rev_circuits : pending_circuit list;
+  mutable sws : Switch.t array;  (* slots [0, n_switches) are valid *)
+  mutable srank : Bytes.t;  (* switch id -> Switch.rank (fits a byte) *)
+  mutable sfuture : Bytes.t;  (* switch id -> 0/1 future flag *)
   mutable n_switches : int;
+  mutable ep_lo : int array;
+  mutable ep_hi : int array;
+  mutable cap : float array;
+  mutable cfuture : Bytes.t;  (* circuit id -> 0/1 future flag *)
   mutable n_circuits : int;
   names : (string, unit) Hashtbl.t;
-  ranks : (int, int) Hashtbl.t; (* switch id -> rank, for circuit orientation *)
-  futures : (int, bool) Hashtbl.t; (* switch id -> future flag *)
 }
+
+let dummy_switch =
+  Switch.make ~id:(-1) ~name:"" ~role:Switch.RSW ~max_ports:0 ()
 
 let create () =
   {
-    rev_switches = [];
-    rev_circuits = [];
+    sws = Array.make 64 dummy_switch;
+    srank = Bytes.create 64;
+    sfuture = Bytes.create 64;
     n_switches = 0;
+    ep_lo = Array.make 64 0;
+    ep_hi = Array.make 64 0;
+    cap = Array.make 64 0.0;
+    cfuture = Bytes.create 64;
     n_circuits = 0;
     names = Hashtbl.create 64;
-    ranks = Hashtbl.create 64;
-    futures = Hashtbl.create 64;
   }
+
+let grow_int a len =
+  let b = Array.make (2 * Array.length a) 0 in
+  Array.blit a 0 b 0 len;
+  b
+
+let grow_bytes a len =
+  let b = Bytes.create (2 * Bytes.length a) in
+  Bytes.blit a 0 b 0 len;
+  b
+
+let ensure_switch_room t =
+  if t.n_switches = Array.length t.sws then begin
+    let b = Array.make (2 * Array.length t.sws) dummy_switch in
+    Array.blit t.sws 0 b 0 t.n_switches;
+    t.sws <- b;
+    t.srank <- grow_bytes t.srank t.n_switches;
+    t.sfuture <- grow_bytes t.sfuture t.n_switches
+  end
+
+let ensure_circuit_room t =
+  if t.n_circuits = Array.length t.ep_lo then begin
+    t.ep_lo <- grow_int t.ep_lo t.n_circuits;
+    t.ep_hi <- grow_int t.ep_hi t.n_circuits;
+    let c = Array.make (2 * Array.length t.cap) 0.0 in
+    Array.blit t.cap 0 c 0 t.n_circuits;
+    t.cap <- c;
+    t.cfuture <- grow_bytes t.cfuture t.n_circuits
+  end
 
 let add_switch t ~name ~role ?(generation = 1) ?(dc = -1) ?(pod = -1)
     ?(plane = -1) ?(index = 0) ?(future = false) ~max_ports () =
   if Hashtbl.mem t.names name then
     invalid_arg (Printf.sprintf "Builder.add_switch: duplicate name %S" name);
   Hashtbl.add t.names name ();
+  ensure_switch_room t;
   let id = t.n_switches in
-  let sw =
-    Switch.make ~id ~name ~role ~generation ~dc ~pod ~plane ~index ~max_ports ()
-  in
-  t.rev_switches <- { sw; future } :: t.rev_switches;
+  t.sws.(id) <-
+    Switch.make ~id ~name ~role ~generation ~dc ~pod ~plane ~index ~max_ports
+      ();
+  Bytes.unsafe_set t.srank id (Char.unsafe_chr (Switch.rank role));
+  Bytes.unsafe_set t.sfuture id (if future then '\001' else '\000');
   t.n_switches <- id + 1;
-  Hashtbl.add t.ranks id (Switch.rank role);
-  Hashtbl.add t.futures id future;
   id
 
 let add_circuit t ~lo ~hi ?(future = false) ~capacity () =
   let rank s =
-    match Hashtbl.find_opt t.ranks s with
-    | Some r -> r
-    | None -> invalid_arg "Builder.add_circuit: unknown switch id"
+    if s < 0 || s >= t.n_switches then
+      invalid_arg "Builder.add_circuit: unknown switch id";
+    Char.code (Bytes.unsafe_get t.srank s)
   in
   let rlo = rank lo and rhi = rank hi in
   if rlo = rhi then
     invalid_arg "Builder.add_circuit: endpoints must be on different layers";
   let lo, hi = if rlo < rhi then (lo, hi) else (hi, lo) in
+  (* Same guard (and message) Circuit.make applied when circuits were
+     materialized as records on this path. *)
+  if capacity <= 0.0 then invalid_arg "Circuit.make: non-positive capacity";
+  ensure_circuit_room t;
   let id = t.n_circuits in
-  let ci = Circuit.make ~id ~lo ~hi ~capacity in
+  t.ep_lo.(id) <- lo;
+  t.ep_hi.(id) <- hi;
+  t.cap.(id) <- capacity;
   let cfuture =
-    future || Hashtbl.find t.futures lo || Hashtbl.find t.futures hi
+    future
+    || Bytes.unsafe_get t.sfuture lo = '\001'
+    || Bytes.unsafe_get t.sfuture hi = '\001'
   in
-  t.rev_circuits <- { ci; cfuture } :: t.rev_circuits;
+  Bytes.unsafe_set t.cfuture id (if cfuture then '\001' else '\000');
   t.n_circuits <- id + 1;
   id
 
@@ -64,26 +113,25 @@ let connect_all t ~los ~his ?(future = false) ~capacity () =
 let switch_count t = t.n_switches
 let circuit_count t = t.n_circuits
 
-let future_switches t =
-  List.rev
-    (List.filter_map
-       (fun p -> if p.future then Some p.sw.Switch.id else None)
-       (List.rev t.rev_switches))
+let future_ids flags n =
+  let acc = ref [] in
+  for i = n - 1 downto 0 do
+    if Bytes.unsafe_get flags i = '\001' then acc := i :: !acc
+  done;
+  !acc
 
-let future_circuits t =
-  List.rev
-    (List.filter_map
-       (fun p -> if p.cfuture then Some p.ci.Circuit.id else None)
-       (List.rev t.rev_circuits))
+let future_switches t = future_ids t.sfuture t.n_switches
+let future_circuits t = future_ids t.cfuture t.n_circuits
 
 let freeze t =
-  let switches =
-    Array.of_list (List.rev_map (fun p -> p.sw) t.rev_switches)
+  let u =
+    Universe.create_packed
+      ~switches:(Array.sub t.sws 0 t.n_switches)
+      ~ep_lo:(Array.sub t.ep_lo 0 t.n_circuits)
+      ~ep_hi:(Array.sub t.ep_hi 0 t.n_circuits)
+      ~cap:(Array.sub t.cap 0 t.n_circuits)
   in
-  let circuits =
-    Array.of_list (List.rev_map (fun p -> p.ci) t.rev_circuits)
-  in
-  let topo = Topo.of_universe (Universe.create ~switches ~circuits) in
+  let topo = Topo.of_universe u in
   (* Deactivate future circuits first so switch toggles do not double-count
      usable transitions (set_* are idempotent either way, but this keeps the
      transition count minimal). *)

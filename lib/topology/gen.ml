@@ -638,6 +638,61 @@ let params_e () =
     fsw_port_headroom = 12;
   }
 
+(* F: the ROADMAP tier one order of magnitude past the paper's E —
+   a multi-region build of ~111k switches and ~991k circuits.  The
+   lattice is deliberately shallow (4 v1 + 6 v2 grids over 2 mesh
+   variants -> 144 compact states) so every planner, including Janus's
+   exhaustive sweep, finishes while each admission check pays the full
+   ~1M-circuit evaluation — the memory/latency trajectory the `scale`
+   bench measures.  With 8 planes the SSW port formula sizes down-links
+   at [pods] while only [pods/2] FSWs share a plane, so Eq. 6 is
+   non-binding here (unlike E): F stresses scale, not port pressure. *)
+let params_f () =
+  tune_hgrid_caps
+  {
+    (base_params "F") with
+    dcs = 12;
+    pods = 100;
+    rsws_per_pod = 80;
+    planes = 8;
+    ssws_per_plane = 96;
+    v1_grids = 4;
+    v1_fadu_per_grid = 96;
+    v1_fauu_per_grid = 48;
+    v2_grids = 6;
+    v2_fadu_per_grid = 96;
+    v2_fauu_per_grid = 48;
+    ebs = 16;
+    drs = 6;
+    ebbs = 6;
+    ssw_port_headroom = 1;
+    fsw_port_headroom = 12;
+  }
+
+(* F-LITE: E's fabric (~11k switches) under F's shallow 144-state
+   lattice — the CI smoke tier: F-shaped planner behavior at a scale a
+   quick run can afford. *)
+let params_f_lite () =
+  tune_hgrid_caps
+  {
+    (base_params "F-LITE") with
+    dcs = 6;
+    pods = 48;
+    rsws_per_pod = 30;
+    ssws_per_plane = 36;
+    v1_grids = 4;
+    v1_fadu_per_grid = 24;
+    v1_fauu_per_grid = 12;
+    v2_grids = 6;
+    v2_fadu_per_grid = 24;
+    v2_fauu_per_grid = 12;
+    ebs = 8;
+    drs = 4;
+    ebbs = 4;
+    ssw_port_headroom = 1;
+    fsw_port_headroom = 12;
+  }
+
 let scenario_of_label = function
   | "A" -> build Hgrid_v1_to_v2 (params_a ())
   | "B" -> build Hgrid_v1_to_v2 (params_b ())
@@ -646,8 +701,14 @@ let scenario_of_label = function
   | "E" -> build Hgrid_v1_to_v2 (params_e ())
   | "E-SSW" -> build Ssw_forklift (params_e ())
   | "E-DMAG" -> build Dmag (params_e ())
+  | "F" -> build Hgrid_v1_to_v2 (params_f ())
+  | "F-SSW" -> build Ssw_forklift (params_f ())
+  | "F-LITE" -> build Hgrid_v1_to_v2 (params_f_lite ())
   | label -> invalid_arg (Printf.sprintf "Gen.scenario_of_label: unknown %S" label)
 
+(* The paper's tiers only: F/F-SSW/F-LITE stay out so the tolerance
+   sweeps and Table 3 jobs that iterate every label do not generate
+   million-circuit regions. *)
 let all_labels = [ "A"; "B"; "C"; "D"; "E"; "E-DMAG"; "E-SSW" ]
 
 (* ---------------------------------------------------------------- *)
@@ -668,17 +729,17 @@ let stats sc =
     let drained = Hashtbl.create 64 in
     List.iter (fun s -> Hashtbl.replace drained s ()) sc.drain_switches;
     let total = ref 0.0 in
-    Array.iter
-      (fun (c : Circuit.t) ->
-        if
-          Topo.usable t c.id
-          && (Hashtbl.mem drained c.lo || Hashtbl.mem drained c.hi)
-        then total := !total +. c.capacity)
-      (Topo.circuits t);
+    for j = 0 to Topo.n_circuits t - 1 do
+      if
+        Topo.usable t j
+        && (Hashtbl.mem drained (Topo.endpoint_lo t j)
+           || Hashtbl.mem drained (Topo.endpoint_hi t j))
+      then total := !total +. Topo.capacity t j
+    done;
     List.iter
       (fun (_, circuits) ->
         List.iter
-          (fun j -> total := !total +. (Topo.circuit t j).Circuit.capacity)
+          (fun j -> total := !total +. Topo.capacity t j)
           circuits)
       sc.drain_circuit_groups;
     !total

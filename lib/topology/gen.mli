@@ -107,13 +107,25 @@ val params_c : unit -> params
 val params_d : unit -> params
 val params_e : unit -> params
 
+val params_f : unit -> params
+(** The F tier (ROADMAP item 3): a multi-region build one order of
+    magnitude past E — ~111k switches, ~991k circuits — under a shallow
+    144-state lattice so every planner finishes while each admission
+    check pays the full million-circuit evaluation. *)
+
+val params_f_lite : unit -> params
+(** E's fabric (~11k switches) under F's shallow lattice: the CI smoke
+    tier for the `scale` bench. *)
+
 val scenario_of_label : string -> scenario
 (** ["A"]–["E"] run HGRID V1→V2; ["E-SSW"] and ["E-DMAG"] the other two
-    migration types on topology E.  Raises [Invalid_argument] on unknown
-    labels. *)
+    migration types on topology E; ["F"], ["F-SSW"] and ["F-LITE"] the
+    beyond-paper scale tiers (not part of {!all_labels}).  Raises
+    [Invalid_argument] on unknown labels. *)
 
 val all_labels : string list
-(** The seven labels of Table 3, in the paper's order. *)
+(** The seven labels of Table 3, in the paper's order.  Excludes the F
+    tiers, which only the `scale` bench and its tests generate. *)
 
 (** {1 Reporting} *)
 

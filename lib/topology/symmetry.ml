@@ -16,11 +16,10 @@ let signature u s =
   let sw = Universe.switch u s in
   let neighbors = ref [] in
   let note j =
-    let c = Universe.circuit u j in
-    neighbors := (Circuit.other_end c s, c.Circuit.capacity) :: !neighbors
+    neighbors := (Universe.other_endpoint u j s, Universe.capacity u j)
+                 :: !neighbors
   in
-  Array.iter note (Universe.up_circuits u s);
-  Array.iter note (Universe.down_circuits u s);
+  Universe.iter_incident u s ~f:note;
   let sorted = List.sort neighbor_compare !neighbors in
   (sw.Switch.role, sw.Switch.generation, sorted)
 

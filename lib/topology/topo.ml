@@ -22,7 +22,9 @@ let of_universe u =
     switch_active = Bitset.create_full n;
     circuit_active = Bitset.create_full m;
     usable_set = Bitset.create_full m;
-    usable_deg = Array.copy (Universe.full_degrees u);
+    (* full_degrees returns a fresh copy per call — safe to own as the
+       overlay's mutable degree counter *)
+    usable_deg = Universe.full_degrees u;
     usable_count = m;
     port_violations = Universe.full_port_violations u;
   }
@@ -78,6 +80,18 @@ let up_circuits t s = Universe.up_circuits t.u s
 let down_circuits t s = Universe.down_circuits t.u s
 let find_switch t name = Universe.find_switch t.u name
 
+(* Flat hot-path pass-throughs: no record views, no array allocation. *)
+let capacity t j = Universe.capacity t.u j
+let endpoint_lo t j = Universe.endpoint_lo t.u j
+let endpoint_hi t j = Universe.endpoint_hi t.u j
+let other_endpoint t j s = Universe.other_endpoint t.u j s
+let max_ports t i = Universe.max_ports t.u i
+let up_degree t s = Universe.up_degree t.u s
+let down_degree t s = Universe.down_degree t.u s
+let iter_up t s ~f = Universe.iter_up t.u s ~f
+let iter_down t s ~f = Universe.iter_down t.u s ~f
+let iter_incident t s ~f = Universe.iter_incident t.u s ~f
+
 let switch_active t i = Bitset.mem t.switch_active i
 let circuit_active t j = Bitset.mem t.circuit_active j
 
@@ -86,7 +100,7 @@ let usable t j = Bitset.mem t.usable_set j
 (* Adjust the usable degree of [s] by [delta], keeping the violation count
    in sync with the switch's port limit crossing. *)
 let bump_degree t s delta =
-  let limit = (Universe.switch t.u s).Switch.max_ports in
+  let limit = Universe.max_ports t.u s in
   let before = t.usable_deg.(s) in
   let after = before + delta in
   t.usable_deg.(s) <- after;
@@ -95,21 +109,21 @@ let bump_degree t s delta =
   else if before > limit && after <= limit then
     t.port_violations <- t.port_violations - 1
 
-let mark_usable t (c : Circuit.t) present =
+let mark_usable t j present =
   let delta = if present then 1 else -1 in
   t.usable_count <- t.usable_count + delta;
-  Bitset.set t.usable_set c.id present;
-  bump_degree t c.lo delta;
-  bump_degree t c.hi delta
+  Bitset.set t.usable_set j present;
+  bump_degree t (Universe.endpoint_lo t.u j) delta;
+  bump_degree t (Universe.endpoint_hi t.u j) delta
 
 let set_circuit_active t j active =
   if Bitset.mem t.circuit_active j <> active then begin
-    let c = Universe.circuit t.u j in
     let endpoints_up =
-      Bitset.mem t.switch_active c.lo && Bitset.mem t.switch_active c.hi
+      Bitset.mem t.switch_active (Universe.endpoint_lo t.u j)
+      && Bitset.mem t.switch_active (Universe.endpoint_hi t.u j)
     in
     Bitset.set t.circuit_active j active;
-    if endpoints_up then mark_usable t c active
+    if endpoints_up then mark_usable t j active
   end
 
 let set_switch_active t i active =
@@ -118,14 +132,12 @@ let set_switch_active t i active =
        the *other* endpoint are already up. *)
     let affect j =
       if Bitset.mem t.circuit_active j then begin
-        let c = Universe.circuit t.u j in
-        let other = Circuit.other_end c i in
-        if Bitset.mem t.switch_active other then mark_usable t c active
+        let other = Universe.other_endpoint t.u j i in
+        if Bitset.mem t.switch_active other then mark_usable t j active
       end
     in
     Bitset.set t.switch_active i active;
-    Array.iter affect (Universe.up_circuits t.u i);
-    Array.iter affect (Universe.down_circuits t.u i)
+    Universe.iter_incident t.u i ~f:affect
   end
 
 let active_switch_count t = Bitset.cardinal t.switch_active
@@ -136,16 +148,15 @@ let ports_ok t = t.port_violations = 0
 let port_violation_count t = t.port_violations
 
 let usable_capacity_between t ra rb =
+  (* Roles map one-to-one onto ranks and circuits always run lower→higher
+     rank, so the either-order role test collapses to one rank-pair tag. *)
+  let ra = Switch.rank ra and rb = Switch.rank rb in
+  let pair = (min ra rb * 16) + max ra rb in
   let total = ref 0.0 in
-  Array.iter
-    (fun (c : Circuit.t) ->
-      if usable t c.id then begin
-        let rlo = (Universe.switch t.u c.lo).Switch.role
-        and rhi = (Universe.switch t.u c.hi).Switch.role in
-        if (rlo = ra && rhi = rb) || (rlo = rb && rhi = ra) then
-          total := !total +. c.capacity
-      end)
-    (Universe.circuits t.u);
+  for j = 0 to Universe.n_circuits t.u - 1 do
+    if Universe.rank_pair t.u j = pair && usable t j then
+      total := !total +. Universe.capacity t.u j
+  done;
   !total
 
 let reachable t ~from =
@@ -162,10 +173,9 @@ let reachable t ~from =
   while not (Queue.is_empty queue) do
     let s = Queue.pop queue in
     let visit j =
-      if usable t j then enqueue (Circuit.other_end (Universe.circuit t.u j) s)
+      if usable t j then enqueue (Universe.other_endpoint t.u j s)
     in
-    Array.iter visit (Universe.up_circuits t.u s);
-    Array.iter visit (Universe.down_circuits t.u s)
+    Universe.iter_incident t.u s ~f:visit
   done;
   seen
 

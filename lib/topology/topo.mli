@@ -67,21 +67,59 @@ val circuit : t -> int -> Circuit.t
 (** [circuit t j] is the circuit with id [j]. *)
 
 val switches : t -> Switch.t array
-(** The underlying switch array (do not mutate). *)
+(** A fresh copy of the switch array; mutating it has no effect. *)
 
 val circuits : t -> Circuit.t array
-(** The underlying circuit array (do not mutate). *)
+(** Freshly allocated record views of every circuit; mutating the array
+    has no effect.  O(n_circuits) allocation — cold paths only. *)
 
 val up_circuits : t -> int -> int array
-(** [up_circuits t s] are ids of circuits whose [lo] endpoint is [s]
-    (toward higher layers).  Internal array: do not mutate. *)
+(** [up_circuits t s]: fresh array of ids of circuits whose [lo]
+    endpoint is [s] (toward higher layers).  Hot loops use {!iter_up}. *)
 
 val down_circuits : t -> int -> int array
-(** [down_circuits t s] are ids of circuits whose [hi] endpoint is [s]. *)
+(** [down_circuits t s]: fresh array of ids of circuits whose [hi]
+    endpoint is [s]. *)
 
 val find_switch : t -> string -> Switch.t option
 (** Look a switch up by name — O(1) through the universe's eagerly built
     index; never mutates. *)
+
+(** {1 Flat structure accessors}
+
+    Allocation-free pass-throughs to the packed {!Universe.t} arrays —
+    the hot-path replacements for {!circuit}/{!up_circuits}. *)
+
+val capacity : t -> int -> float
+(** [capacity t j] is circuit [j]'s capacity. *)
+
+val endpoint_lo : t -> int -> int
+(** [endpoint_lo t j] is the lower-{!Switch.rank} endpoint of [j]. *)
+
+val endpoint_hi : t -> int -> int
+(** [endpoint_hi t j] is the higher-rank endpoint of [j]. *)
+
+val other_endpoint : t -> int -> int -> int
+(** [other_endpoint t j s] is the endpoint of [j] opposite [s]. *)
+
+val max_ports : t -> int -> int
+(** [max_ports t i] is switch [i]'s port budget. *)
+
+val up_degree : t -> int -> int
+(** Number of circuits whose [lo] endpoint is the given switch. *)
+
+val down_degree : t -> int -> int
+(** Number of circuits whose [hi] endpoint is the given switch. *)
+
+val iter_up : t -> int -> f:(int -> unit) -> unit
+(** [iter_up t s ~f] applies [f] to each up-circuit id of [s], in
+    increasing id order, without allocating. *)
+
+val iter_down : t -> int -> f:(int -> unit) -> unit
+(** As {!iter_up} for down-circuits. *)
+
+val iter_incident : t -> int -> f:(int -> unit) -> unit
+(** [iter_incident t s ~f] is [iter_up] then [iter_down]. *)
 
 (** {1 Activity} *)
 

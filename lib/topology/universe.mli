@@ -1,12 +1,22 @@
 (** The immutable, domain-shareable half of a topology.
 
     A universe records everything about a migration's network that never
-    changes while planning: the switch and circuit arrays, the up/down
-    adjacency lists, per-switch port budgets, and the name index.  All of
-    it is built once by {!create} and never mutated afterwards, so a single
-    universe is safely shared — physically, without copies or locks — by
-    every {!Topo.t} overlay and hence every constraint checker and worker
-    domain spawned from one task.
+    changes while planning: switches, circuit endpoints/capacities, the
+    up/down adjacency, per-switch port budgets, and the name index.  All
+    of it is built once by {!create} (or {!create_packed}) and never
+    mutated afterwards, so a single universe is safely shared —
+    physically, without copies or locks — by every {!Topo.t} overlay and
+    hence every constraint checker and worker domain spawned from one
+    task.
+
+    Storage is packed: circuits live in flat parallel arrays (endpoints,
+    unboxed capacities, rank pairs) and adjacency is CSR-style — one flat
+    array of circuit ids with per-switch offset ranges.  The flat
+    accessors ({!capacity}, {!endpoint_lo}, {!iter_up}, …) read those
+    arrays directly and are the hot-path API; {!circuit}, {!circuits}
+    and friends materialize {!Circuit.t} record views for cold/API
+    paths.  Accessors that return arrays always return fresh copies —
+    mutating a returned array never affects the universe.
 
     The mutable half (activity flags, usable degrees, port-violation
     counters) lives in {!Topo}, which holds a reference to its universe. *)
@@ -20,6 +30,19 @@ val create : switches:Switch.t array -> circuits:Circuit.t array -> t
     raises [Invalid_argument] otherwise.  The name index is built eagerly
     here, so lookups never mutate shared state. *)
 
+val create_packed :
+  switches:Switch.t array ->
+  ep_lo:int array ->
+  ep_hi:int array ->
+  cap:float array ->
+  t
+(** [create_packed ~switches ~ep_lo ~ep_hi ~cap] freezes circuits given
+    directly as parallel arrays (circuit [j] runs [ep_lo.(j)] →
+    [ep_hi.(j)] with capacity [cap.(j)]) — the streaming-generator entry
+    point, allocating no intermediate records.  Validation rules are
+    those of {!create}.  The arrays are owned by the universe afterwards
+    and must not be mutated by the caller. *)
+
 val n_switches : t -> int
 val n_circuits : t -> int
 
@@ -27,20 +50,67 @@ val switch : t -> int -> Switch.t
 (** [switch u i] is the switch with id [i]. *)
 
 val circuit : t -> int -> Circuit.t
-(** [circuit u j] is the circuit with id [j]. *)
+(** [circuit u j] is a freshly allocated record view of circuit [j].
+    Cold/API paths only — hot loops read {!capacity} and
+    {!endpoint_lo}/{!endpoint_hi} instead. *)
 
 val switches : t -> Switch.t array
-(** The underlying switch array (do not mutate). *)
+(** A fresh copy of the switch array; mutating it has no effect. *)
 
 val circuits : t -> Circuit.t array
-(** The underlying circuit array (do not mutate). *)
+(** Freshly allocated record views of every circuit; mutating the array
+    has no effect.  O(n_circuits) allocation — cold paths only. *)
+
+(** {1 Flat accessors (hot paths)} *)
+
+val capacity : t -> int -> float
+(** [capacity u j] is circuit [j]'s capacity, read from the unboxed
+    float array. *)
+
+val endpoint_lo : t -> int -> int
+(** [endpoint_lo u j] is the lower-{!Switch.rank} endpoint of [j]. *)
+
+val endpoint_hi : t -> int -> int
+(** [endpoint_hi u j] is the higher-rank endpoint of [j]. *)
+
+val other_endpoint : t -> int -> int -> int
+(** [other_endpoint u j s] is the endpoint of circuit [j] opposite [s].
+    Raises [Invalid_argument] if [s] is not an endpoint of [j]. *)
+
+val rank_pair : t -> int -> int
+(** [rank_pair u j] is [rank lo_role * 16 + rank hi_role] — a packed tag
+    identifying the layer pair the circuit spans (roles map one-to-one
+    onto ranks). *)
+
+val max_ports : t -> int -> int
+(** [max_ports u i] is switch [i]'s port budget. *)
+
+val up_degree : t -> int -> int
+(** Number of circuits whose [lo] endpoint is the given switch. *)
+
+val down_degree : t -> int -> int
+(** Number of circuits whose [hi] endpoint is the given switch. *)
+
+val iter_up : t -> int -> f:(int -> unit) -> unit
+(** [iter_up u s ~f] applies [f] to each circuit id whose [lo] endpoint
+    is [s], in increasing id order, without allocating. *)
+
+val iter_down : t -> int -> f:(int -> unit) -> unit
+(** [iter_down u s ~f]: as {!iter_up} for [hi] endpoints. *)
+
+val iter_incident : t -> int -> f:(int -> unit) -> unit
+(** [iter_incident u s ~f] is [iter_up] then [iter_down]. *)
+
+(** {1 Array views (cold paths)} *)
 
 val up_circuits : t -> int -> int array
-(** [up_circuits u s] are ids of circuits whose [lo] endpoint is [s]
-    (toward higher layers).  Internal array: do not mutate. *)
+(** [up_circuits u s]: fresh array of ids of circuits whose [lo]
+    endpoint is [s] (toward higher layers), in increasing id order.
+    Allocates — hot loops use {!iter_up}. *)
 
 val down_circuits : t -> int -> int array
-(** [down_circuits u s] are ids of circuits whose [hi] endpoint is [s]. *)
+(** [down_circuits u s]: fresh array of ids of circuits whose [hi]
+    endpoint is [s]. *)
 
 val find_switch : t -> string -> Switch.t option
 (** Name lookup through the eagerly built index: O(1), never mutates. *)
@@ -50,7 +120,12 @@ val full_degree : t -> int -> int
     switch and circuit is active. *)
 
 val full_degrees : t -> int array
-(** The full-degree array (do not mutate). *)
+(** A fresh copy of the full-degree array; mutating it has no effect. *)
 
 val full_port_violations : t -> int
 (** Port-constraint violations of the everything-active state. *)
+
+val footprint : t -> (string * int) list
+(** Estimated heap bytes per packed component (switch records, endpoint
+    arrays, capacities, adjacency, …), excluding switch name strings and
+    the name index.  For memory reporting. *)

@@ -35,11 +35,9 @@ let compile u ~sources ~hops =
        static candidate circuit list: evaluation never scans the rest of
        the universe. *)
     for j = 0 to Universe.n_circuits u - 1 do
-      let c = Universe.circuit u j in
+      let lo = Universe.endpoint_lo u j and hi = Universe.endpoint_hi u j in
       let prev, next =
-        match h.dir with
-        | `Up -> (c.Circuit.lo, c.Circuit.hi)
-        | `Down -> (c.Circuit.hi, c.Circuit.lo)
+        match h.dir with `Up -> (lo, hi) | `Down -> (hi, lo)
       in
       if Bitset.mem potential prev && h.accept (Universe.switch u next) then begin
         candidates := (j, prev, next) :: !candidates;
@@ -217,7 +215,7 @@ let evaluate ?(scale = 1.0) ?(split = `Equal) ?(aux = [||]) topo sc c ~loads =
         if weighted then
           sc.candw.(prev) <-
             sc.candw.(prev)
-            +. (Topo.circuit topo stage.circuits.(i)).Circuit.capacity
+            +. Topo.capacity topo stage.circuits.(i)
       end
     done;
     (* Distribute over the qualifying circuits: equally under plain ECMP,
@@ -236,7 +234,7 @@ let evaluate ?(scale = 1.0) ?(split = `Equal) ?(aux = [||]) topo sc c ~loads =
         let j = stage.circuits.(i) in
         let share =
           if weighted then
-            v *. (Topo.circuit topo j).Circuit.capacity /. sc.candw.(prev)
+            v *. Topo.capacity topo j /. sc.candw.(prev)
           else v /. float_of_int sc.cand.(prev)
         in
         loads.(j) <- loads.(j) +. share;
@@ -379,7 +377,7 @@ let forward_record ~weighted ~from_ ~aux topo sc st ~loads ~mark =
         if weighted then
           sc.candw.(prev) <-
             sc.candw.(prev)
-            +. (Topo.circuit topo stage.circuits.(i)).Circuit.capacity
+            +. Topo.capacity topo stage.circuits.(i)
       end
     done;
     for i = 0 to m - 1 do
@@ -395,7 +393,7 @@ let forward_record ~weighted ~from_ ~aux topo sc st ~loads ~mark =
         let j = stage.circuits.(i) in
         let share =
           if weighted then
-            v *. (Topo.circuit topo j).Circuit.capacity /. sc.candw.(prev)
+            v *. Topo.capacity topo j /. sc.candw.(prev)
           else v /. float_of_int sc.cand.(prev)
         in
         loads.(j) <- loads.(j) +. share;

@@ -66,7 +66,7 @@ let max_utilization topo scratch classes ~loads =
   let max_util = ref 0.0 in
   for j = 0 to Topo.n_circuits topo - 1 do
     if loads.(j) > 0.0 && Topo.usable topo j then begin
-      let u = loads.(j) /. (Topo.circuit topo j).Circuit.capacity in
+      let u = loads.(j) /. Topo.capacity topo j in
       if u > !max_util then max_util := u
     end
   done;

@@ -112,14 +112,14 @@ let class_feasible topo ~rsws_by_dc ~ebbs ?(utilization_bound = 1.0)
   let source = n and sink = n + 1 in
   let g = Graph.create (n + 2) in
   (* Every usable circuit carries up to bound * W in either direction. *)
-  Array.iter
-    (fun (c : Circuit.t) ->
-      if Topo.usable topo c.Circuit.id then begin
-        let cap = utilization_bound *. c.Circuit.capacity in
-        Graph.add_edge g ~src:c.Circuit.lo ~dst:c.Circuit.hi ~capacity:cap;
-        Graph.add_edge g ~src:c.Circuit.hi ~dst:c.Circuit.lo ~capacity:cap
-      end)
-    (Topo.circuits topo);
+  for j = 0 to Topo.n_circuits topo - 1 do
+    if Topo.usable topo j then begin
+      let cap = utilization_bound *. Topo.capacity topo j in
+      let lo = Topo.endpoint_lo topo j and hi = Topo.endpoint_hi topo j in
+      Graph.add_edge g ~src:lo ~dst:hi ~capacity:cap;
+      Graph.add_edge g ~src:hi ~dst:lo ~capacity:cap
+    end
+  done;
   let sources = Routes.sources_for ~rsws_by_dc ~ebbs d in
   List.iter
     (fun (s, share) -> Graph.add_edge g ~src:source ~dst:s ~capacity:share)

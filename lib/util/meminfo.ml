@@ -1,0 +1,36 @@
+(* Peak and current RSS from /proc/self/status (Linux).  The bench
+   harness records these in its JSON artifacts; on platforms without
+   procfs the readers return None and the caller reports the absence. *)
+
+let status_field name =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+      let prefix = name ^ ":" in
+      let rec scan () =
+        match input_line ic with
+        | exception End_of_file -> None
+        | line ->
+            if String.length line > String.length prefix
+               && String.sub line 0 (String.length prefix) = prefix
+            then begin
+              (* "VmHWM:    123456 kB" — take the numeric token *)
+              let rest =
+                String.sub line (String.length prefix)
+                  (String.length line - String.length prefix)
+              in
+              let digits =
+                String.to_seq rest
+                |> Seq.filter (fun c -> c >= '0' && c <= '9')
+                |> String.of_seq
+              in
+              int_of_string_opt digits
+            end
+            else scan ()
+      in
+      let r = scan () in
+      close_in ic;
+      r
+
+let peak_rss_kb () = status_field "VmHWM"
+let rss_kb () = status_field "VmRSS"

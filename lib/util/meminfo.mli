@@ -1,0 +1,12 @@
+(** Process memory counters from [/proc/self/status].
+
+    Used by the bench harness to record peak RSS in its JSON artifacts.
+    Both readers return [None] when procfs is unavailable (non-Linux) or
+    the field is missing. *)
+
+val peak_rss_kb : unit -> int option
+(** High-water-mark resident set size ([VmHWM]), in kB.  Monotonic over
+    the process lifetime: measure tiers in increasing size order. *)
+
+val rss_kb : unit -> int option
+(** Current resident set size ([VmRSS]), in kB. *)

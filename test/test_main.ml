@@ -23,6 +23,7 @@ let () =
       Suite_incremental.suite;
       Suite_robust.suite;
       Suite_overlay.suite;
+      Suite_packed.suite;
       Suite_plan.suite;
       Suite_npd.suite;
       Suite_extensions.suite;
