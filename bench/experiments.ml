@@ -37,6 +37,28 @@ let task label =
       t
 
 (* ------------------------------------------------------------------ *)
+(* JSON artifact provenance.  Every BENCH_*.json header records the
+   commit it was produced from, so an artifact found loose in a results
+   directory traces back to its code.  Benches also run from exported
+   tarballs and sandboxes without git, so failure to resolve degrades
+   to "unknown" rather than failing the run. *)
+
+let commit_hash =
+  lazy
+    (try
+       let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+       let line = try input_line ic with End_of_file -> "" in
+       match Unix.close_process_in ic with
+       | Unix.WEXITED 0 when String.length line > 0 -> line
+       | _ -> "unknown"
+     with _ -> "unknown")
+
+let fprint_json_header oc experiment =
+  Printf.fprintf oc "{\n  \"experiment\": %S,\n" experiment;
+  Printf.fprintf oc "  \"commit\": %S,\n" (Lazy.force commit_hash);
+  Printf.fprintf oc "  \"cores\": %d,\n" (Domain.recommended_domain_count ())
+
+(* ------------------------------------------------------------------ *)
 (* Table 1: migration statistics per DC *)
 
 let table1 opts =
@@ -462,8 +484,7 @@ let ext opts =
 
 let write_parallel_json ?skipped_reason path rows =
   let oc = open_out path in
-  Printf.fprintf oc "{\n  \"experiment\": \"parallel-planning\",\n";
-  Printf.fprintf oc "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
+  fprint_json_header oc "parallel-planning";
   (match skipped_reason with
   | Some reason -> Printf.fprintf oc "  \"skipped_reason\": %S,\n" reason
   | None -> ());
@@ -576,9 +597,8 @@ let par opts =
 
 let write_incremental_json path rows =
   let oc = open_out path in
-  Printf.fprintf oc "{\n  \"experiment\": \"incremental-satisfiability\",\n";
-  Printf.fprintf oc "  \"cores\": %d,\n  \"rows\": [\n"
-    (Domain.recommended_domain_count ());
+  fprint_json_header oc "incremental-satisfiability";
+  Printf.fprintf oc "  \"rows\": [\n";
   let n = List.length rows in
   List.iteri
     (fun i (label, planner, checks, spc_full, spc_inc, same_cost) ->
@@ -730,10 +750,8 @@ let inc opts =
 
 let write_overlay_json path ~label ~reps ~eager_us ~lazy_us rows =
   let oc = open_out path in
-  Printf.fprintf oc "{\n  \"experiment\": \"universe-overlay-split\",\n";
-  Printf.fprintf oc "  \"cores\": %d,\n  \"topology\": %S,\n"
-    (Domain.recommended_domain_count ())
-    label;
+  fprint_json_header oc "universe-overlay-split";
+  Printf.fprintf oc "  \"topology\": %S,\n" label;
   Printf.fprintf oc
     "  \"creation\": {\"reps\": %d, \"eager_us\": %.3f, \"lazy_us\": %.3f, \
      \"speedup\": %.2f},\n"
@@ -845,9 +863,8 @@ let overlay opts =
 
 let write_robust_json path rows sims =
   let oc = open_out path in
-  Printf.fprintf oc "{\n  \"experiment\": \"robust-ensemble\",\n";
-  Printf.fprintf oc "  \"cores\": %d,\n  \"rows\": [\n"
-    (Domain.recommended_domain_count ());
+  fprint_json_header oc "robust-ensemble";
+  Printf.fprintf oc "  \"rows\": [\n";
   let n = List.length rows in
   List.iteri
     (fun i (label, k, cost, checks, spc, ratio, same_cost) ->
@@ -1080,8 +1097,7 @@ let scale_bytes_per_circuit_budget = 96.0
 
 let write_scale_json path rows =
   let oc = open_out path in
-  Printf.fprintf oc "{\n  \"experiment\": \"scale\",\n";
-  Printf.fprintf oc "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
+  fprint_json_header oc "scale";
   Printf.fprintf oc "  \"universe_bytes_per_circuit_budget\": %.1f,\n"
     scale_bytes_per_circuit_budget;
   Printf.fprintf oc "  \"rows\": [\n";

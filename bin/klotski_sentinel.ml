@@ -1,0 +1,42 @@
+(* klotski-sentinel: typed whole-program race & determinism analyzer
+   over compiler-generated [.cmt] typedtrees.
+
+     klotski-sentinel [--src DIR]... [CMT-ROOT ...]
+
+   CMT-ROOTs are searched recursively for [.cmt] files (default: lib —
+   correct when invoked by the @sentinel alias, whose working directory
+   is the build root; from a source checkout pass _build/default/lib).
+   --src names the source trees scanned for suppression comments and
+   the S4 stale-suppression audit (default: lib).
+
+   Prints the S1 worker-closure report, then one
+   [file:line:col [rule] message] line per finding, and exits non-zero
+   when any remain unsuppressed.  Rule catalog S1-S4: DESIGN.md
+   §"klotski-sentinel". *)
+
+let () =
+  let rec parse_args srcs roots = function
+    | [] -> (List.rev srcs, List.rev roots)
+    | "--src" :: dir :: rest -> parse_args (dir :: srcs) roots rest
+    | root :: rest -> parse_args srcs (root :: roots) rest
+  in
+  let srcs, roots = parse_args [] [] (List.tl (Array.to_list Sys.argv)) in
+  let cmt_roots = match roots with [] -> [ "lib" ] | roots -> roots in
+  let config =
+    {
+      Sentinel.default_config with
+      Sentinel.source_roots = (match srcs with [] -> [ "lib" ] | srcs -> srcs);
+    }
+  in
+  let report = Sentinel.analyze ~config ~cmt_roots () in
+  List.iter print_endline (Sentinel.render_summary report);
+  List.iter
+    (fun f -> print_endline (Lint_finding.to_string f))
+    report.Sentinel.findings;
+  match report.Sentinel.findings with
+  | [] ->
+      Printf.printf "klotski-sentinel: clean (%s)\n"
+        (String.concat " " cmt_roots)
+  | findings ->
+      Printf.eprintf "klotski-sentinel: %d finding(s)\n" (List.length findings);
+      exit 1

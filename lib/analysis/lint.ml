@@ -33,7 +33,33 @@ let r5_allowlist = [ "util/klog.ml"; "util/table_fmt.ml" ]
 let under_lib path =
   List.exists (String.equal "lib") (String.split_on_char '/' path)
 
-let lint_parsed ~file ~r2 ~lib text structure =
+(* Rules owned by this analyzer; a directive's S-rules are
+   klotski-sentinel's business and never make it "used" here. *)
+let own_rules = [ "R1"; "R2"; "R3"; "R4"; "R5" ]
+
+(* Directives whose R-rules matched no raw finding: fed to sentinel's
+   S4 dead-suppression audit. *)
+let unused_r_directives (sup : Lint_suppress.t) raw =
+  List.filter
+    (fun (d : Lint_suppress.directive) ->
+      let rs =
+        List.filter
+          (fun r -> List.exists (String.equal r) own_rules)
+          d.Lint_suppress.rules
+      in
+      match rs with
+      | [] -> false
+      | _ ->
+          not
+            (List.exists
+               (fun (f : Lint_finding.t) ->
+                 (d.Lint_suppress.line = f.Lint_finding.line
+                 || d.Lint_suppress.line + 1 = f.Lint_finding.line)
+                 && List.exists (String.equal f.Lint_finding.rule) rs)
+               raw))
+    sup.Lint_suppress.directives
+
+let lint_parsed_full ~file ~r2 ~lib text structure =
   let r4_allowed = List.exists (fun s -> has_suffix s file) r4_allowlist in
   let r5_active =
     lib && not (List.exists (fun s -> has_suffix s file) r5_allowlist)
@@ -43,7 +69,11 @@ let lint_parsed ~file ~r2 ~lib text structure =
   let kept =
     List.filter (fun f -> not (Lint_suppress.suppressed sup f)) findings
   in
-  List.sort Lint_finding.order (Lint_suppress.problems sup @ kept)
+  ( List.sort Lint_finding.order (Lint_suppress.problems sup @ kept),
+    List.map (fun d -> (file, d)) (unused_r_directives sup findings) )
+
+let lint_parsed ~file ~r2 ~lib text structure =
+  fst (lint_parsed_full ~file ~r2 ~lib text structure)
 
 let parse_error_finding ~file exn =
   let line, col, detail =
@@ -80,7 +110,9 @@ let rec collect acc path =
   else if has_suffix ".ml" path then path :: acc
   else acc
 
-let run ?(r2_roots = default_r2_roots) ~roots () =
+(* [run_report] additionally returns the suppression directives whose
+   R-rules silenced nothing — klotski-sentinel's S4 flags them. *)
+let run_report ?(r2_roots = default_r2_roots) ~roots () =
   let files =
     List.fold_left collect [] roots |> List.sort_uniq String.compare
   in
@@ -105,12 +137,17 @@ let run ?(r2_roots = default_r2_roots) ~roots () =
     | None -> true
     | Some set -> List.exists (String.equal file) set
   in
-  List.concat_map
-    (fun (file, text, r) ->
-      match r with
-      | Error exn -> [ parse_error_finding ~file exn ]
-      | Ok structure ->
-          lint_parsed ~file ~r2:(in_scope file) ~lib:(under_lib file) text
-            structure)
-    parsed
-  |> List.sort Lint_finding.order
+  let per_file =
+    List.map
+      (fun (file, text, r) ->
+        match r with
+        | Error exn -> ([ parse_error_finding ~file exn ], [])
+        | Ok structure ->
+            lint_parsed_full ~file ~r2:(in_scope file) ~lib:(under_lib file)
+              text structure)
+      parsed
+  in
+  ( List.concat_map fst per_file |> List.sort Lint_finding.order,
+    List.concat_map snd per_file )
+
+let run ?r2_roots ~roots () = fst (run_report ?r2_roots ~roots ())

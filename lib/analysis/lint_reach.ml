@@ -78,6 +78,35 @@ let references structure =
   it.structure it structure;
   Hashtbl.fold (fun k () l -> k :: l) acc [] |> List.sort String.compare
 
+(* Module aliases ([module C = Cache], at any nesting depth, through
+   signature constraints).  File-name resolution alone misses a chain
+   like [Root -> Kit.State -> State_mod] when [Kit] lives in a file of
+   another name: the reference [Kit.State] resolves to no file, and the
+   file that *could* resolve [State] is never visited.  A global alias
+   table closes that hole: alias names resolve to their target path
+   regardless of which file defines them. *)
+let rec unwrap_module_expr me =
+  match me.pmod_desc with
+  | Pmod_constraint (me, _) -> unwrap_module_expr me
+  | _ -> me
+
+let aliases structure =
+  let acc = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      module_binding =
+        (fun it mb ->
+          (match (mb.pmb_name.txt, (unwrap_module_expr mb.pmb_expr).pmod_desc) with
+          | Some name, Pmod_ident { txt; _ } ->
+              acc := (name, List.filter is_module_name (comps txt)) :: !acc
+          | _ -> ());
+          Ast_iterator.default_iterator.module_binding it mb);
+    }
+  in
+  it.structure it structure;
+  !acc
+
 let module_name_of_file path =
   String.capitalize_ascii (Filename.remove_extension (Filename.basename path))
 
@@ -99,6 +128,19 @@ let reachable ~root_modules (files : (string * structure) list) =
       List.iter
         (fun (path, ast) -> Hashtbl.replace refs_of path (references ast))
         files;
+      let alias_tbl = Hashtbl.create 64 in
+      List.iter
+        (fun (_, ast) ->
+          List.iter
+            (fun (name, target) ->
+              let prev =
+                match Hashtbl.find_opt alias_tbl name with
+                | Some l -> l
+                | None -> []
+              in
+              Hashtbl.replace alias_tbl name (target :: prev))
+            (aliases ast))
+        files;
       let seen = Hashtbl.create 64 in
       let rec visit path =
         if not (Hashtbl.mem seen path) then begin
@@ -106,23 +148,30 @@ let reachable ~root_modules (files : (string * structure) list) =
           let refs =
             match Hashtbl.find_opt refs_of path with Some r -> r | None -> []
           in
-          List.iter
-            (fun name ->
-              (* "Kutil.Bitset" resolves through its member; plain
-                 names resolve directly. *)
-              let candidates =
-                match String.index_opt name '.' with
-                | Some i ->
-                    [ String.sub name (i + 1) (String.length name - i - 1) ]
-                | None -> [ name ]
-              in
-              List.iter
-                (fun m ->
-                  match Hashtbl.find_opt by_module m with
-                  | Some f -> visit f
-                  | None -> ())
-                candidates)
-            refs
+          (* A name resolves through (a) the file defining a module of
+             that name, (b) the member after a library wrapper
+             ("Kutil.Bitset" -> bitset.ml), and (c) the global alias
+             table, transitively (depth-capped: alias cycles are legal
+             OCaml across recursive modules). *)
+          let rec resolve depth name =
+            if depth <= 8 then begin
+              (match Hashtbl.find_opt by_module name with
+              | Some f -> visit f
+              | None -> ());
+              (match Hashtbl.find_opt alias_tbl name with
+              | Some targets ->
+                  List.iter
+                    (fun t -> resolve (depth + 1) (String.concat "." t))
+                    targets
+              | None -> ());
+              match String.index_opt name '.' with
+              | Some i ->
+                  resolve (depth + 1)
+                    (String.sub name (i + 1) (String.length name - i - 1))
+              | None -> ()
+            end
+          in
+          List.iter (resolve 0) refs
         end
       in
       List.iter visit root_files;

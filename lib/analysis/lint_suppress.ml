@@ -1,16 +1,18 @@
 (* Comment-directive suppressions.
 
    A finding can be silenced with a comment on the offending line or on
-   the line directly above it:
+   the line directly above it — the marker split here so this very
+   comment is not itself a (stale, S4-reportable) directive; written
+   without the space in real use:
 
-     (* klotski-lint: allow R3 "keys are sorted two lines below" *)
+     (* klotski-lint : allow R3 "keys are sorted two lines below" *)
 
    Several rules may be listed ([allow R1 R3 "..."]).  The reason string
    is mandatory: a directive without one suppresses nothing and is
    itself reported as a [lint] finding, so every exception in the tree
    carries its justification next to the code it excuses. *)
 
-type directive = { line : int; rules : string list }
+type directive = { line : int; col : int; rules : string list }
 
 type t = { directives : directive list; problems : Lint_finding.t list }
 
@@ -27,7 +29,10 @@ let find_sub s sub =
   in
   go 0
 
-let known_rules = [ "R1"; "R2"; "R3"; "R4"; "R5" ]
+(* R-rules belong to klotski-lint, S-rules to klotski-sentinel; both
+   tools share the directive syntax, each silences only its own rules,
+   and sentinel's S4 audits directives that silence nothing. *)
+let known_rules = [ "R1"; "R2"; "R3"; "R4"; "R5"; "S1"; "S2"; "S3"; "S4" ]
 
 let drop s k = String.trim (String.sub s k (String.length s - k))
 
@@ -70,7 +75,7 @@ let parse_directive rest =
         tokens
     in
     match (tokens, unknown, reason) with
-    | [], _, _ -> Error "suppression lists no rule ids (expected R1..R5)"
+    | [], _, _ -> Error "suppression lists no rule ids (expected R1..R5 / S1..S4)"
     | _, u :: _, _ -> Error (Printf.sprintf "unknown rule id %S in suppression" u)
     | _, [], None ->
         Error "suppression missing reason string (allow R<n> \"why this is safe\")"
@@ -88,7 +93,8 @@ let scan ~file text =
           let rest = drop line (i + String.length marker) in
           match parse_directive rest with
           | Ok None -> ()
-          | Ok (Some rules) -> directives := { line = lno; rules } :: !directives
+          | Ok (Some rules) ->
+              directives := { line = lno; col = i; rules } :: !directives
           | Error msg ->
               problems :=
                 Lint_finding.v ~file ~line:lno ~col:i ~rule:"lint" msg

@@ -1,0 +1,186 @@
+(* Driver for klotski-sentinel: load [.cmt] typedtrees, build the call
+   graph, solve the effect lattice over SCCs, run S1–S4, apply
+   suppression comments, and audit the suppressions themselves.
+   Printing is left to the caller ([bin/klotski_sentinel]): nothing in
+   [lib/] writes to the console. *)
+
+module G = Sentinel_callgraph
+
+type config = {
+  s1_roots : string list;  (* worker entry points for the race closure *)
+  s3_roots : string list;  (* key-feeding functions that must stay deterministic *)
+  source_roots : string list;
+      (* source trees scanned for suppression comments; the lint pass
+         also runs over them so stale R-rule suppressions surface under
+         S4.  Empty = skip both. *)
+}
+
+let default_config =
+  {
+    s1_roots = [ "Sat_engine.check"; "Sat_engine.check_batch"; "Domain_pool.map" ];
+    s3_roots =
+      [
+        "Cache.key_of"; "Ensemble.hash_of"; "Ensemble.id"; "Vec_key.hash";
+        "Vec_key.equal"; "Vec_key.compare";
+      ];
+    source_roots = [ "lib" ];
+  }
+
+type report = {
+  findings : Lint_finding.t list;  (* post-suppression, stable order *)
+  unit_count : int;
+  def_count : int;
+  closure_roots : string list;
+  closure_units : string list;  (* display names, sorted *)
+  audited : (string * string * int * string option) list;
+      (* display, file, line, reason of each in-closure annotation *)
+}
+
+let s_rules = [ "S1"; "S2"; "S3"; "S4" ]
+let r_rules = [ "R1"; "R2"; "R3"; "R4"; "R5" ]
+let mem s l = List.exists (String.equal s) l
+
+(* Same coverage contract as [Lint_suppress.suppressed]: a directive
+   silences findings on its own line and the next. *)
+let covers (d : Lint_suppress.directive) (f : Lint_finding.t) =
+  d.Lint_suppress.line = f.Lint_finding.line
+  || d.Lint_suppress.line + 1 = f.Lint_finding.line
+
+let analyze ?(config = default_config) ~cmt_roots () =
+  let units, problems = Sentinel_cmt.load ~roots:cmt_roots in
+  let graph = G.build units in
+  let vis = Sentinel_rules.visible graph in
+  let by_key = Hashtbl.create 256 in
+  List.iter (fun (d : G.def) -> Hashtbl.replace by_key (G.gid_key d.G.gid) d) vis;
+  let effects =
+    Sentinel_effect.solve
+      ~nodes:(List.map (fun (d : G.def) -> G.gid_key d.G.gid) vis)
+      ~direct:(fun k -> Sentinel_rules.direct_effect (Hashtbl.find by_key k))
+      ~calls:(fun k ->
+        (Hashtbl.find by_key k).G.calls
+        |> List.filter_map (fun gid ->
+               match G.find_def graph gid with
+               | Some d -> Some (G.gid_key d.G.gid)
+               | None -> None))
+  in
+  let entries, missing1 = Sentinel_rules.s1_closure graph ~roots:config.s1_roots in
+  let raw =
+    Sentinel_rules.s1 graph entries
+    @ Sentinel_rules.s2 graph effects
+    @ Sentinel_rules.s3 graph effects ~roots:config.s3_roots
+    @ Sentinel_rules.s4_annotations graph
+    @ List.map (Sentinel_rules.missing_root ~rule:"S1") missing1
+  in
+  (* Suppression comments live in sources, which the analyzer does not
+     otherwise read; scan the configured trees plus any finding's own
+     file. *)
+  let files =
+    List.fold_left Lint.collect [] config.source_roots
+    @ List.filter_map
+        (fun (f : Lint_finding.t) ->
+          if Sys.file_exists f.Lint_finding.file then
+            Some f.Lint_finding.file
+          else None)
+        raw
+    |> List.sort_uniq String.compare
+  in
+  let sups =
+    List.map
+      (fun file -> (file, Lint_suppress.scan ~file (Lint.read_file file)))
+      files
+  in
+  let suppressed (f : Lint_finding.t) =
+    List.exists
+      (fun (file, sup) ->
+        String.equal file f.Lint_finding.file
+        && List.exists
+             (fun (d : Lint_suppress.directive) ->
+               covers d f && mem f.Lint_finding.rule d.Lint_suppress.rules)
+             sup.Lint_suppress.directives)
+      sups
+  in
+  let kept = List.filter (fun f -> not (suppressed f)) raw in
+  (* S4, suppression half: a directive is stale when every rule it lists
+     matches nothing — its S-rules against sentinel's raw findings, its
+     R-rules against the lint pass over the same sources. *)
+  let lint_unused =
+    match config.source_roots with
+    | [] -> []
+    | roots -> snd (Lint.run_report ~roots ())
+  in
+  let stale =
+    List.concat_map
+      (fun (file, sup) ->
+        List.filter_map
+          (fun (d : Lint_suppress.directive) ->
+            let ss = List.filter (fun r -> mem r s_rules) d.Lint_suppress.rules in
+            let rr = List.filter (fun r -> mem r r_rules) d.Lint_suppress.rules in
+            let s_stale =
+              match ss with
+              | [] -> true
+              | _ ->
+                  not
+                    (List.exists
+                       (fun (f : Lint_finding.t) ->
+                         String.equal f.Lint_finding.file file
+                         && covers d f
+                         && mem f.Lint_finding.rule ss)
+                       raw)
+            in
+            let r_stale =
+              match rr with
+              | [] -> true
+              | _ ->
+                  List.exists
+                    (fun (uf, (ud : Lint_suppress.directive)) ->
+                      String.equal uf file && ud.Lint_suppress.line = d.Lint_suppress.line)
+                    lint_unused
+            in
+            if s_stale && r_stale then
+              Some
+                (Lint_finding.v ~file ~line:d.Lint_suppress.line
+                   ~col:d.Lint_suppress.col ~rule:"S4"
+                   (Printf.sprintf
+                      "stale suppression (allow %s): no finding on this or \
+                       the next line — delete it"
+                      (String.concat " " d.Lint_suppress.rules)))
+            else None)
+          sup.Lint_suppress.directives)
+      sups
+  in
+  {
+    findings = List.sort Lint_finding.order (problems @ kept @ stale);
+    unit_count = List.length units;
+    def_count = List.length vis;
+    closure_roots = config.s1_roots;
+    closure_units = Sentinel_rules.closure_units entries;
+    audited =
+      List.map
+        (fun ((d : G.def), (aloc : Location.t), reason) ->
+          ( G.display d.G.gid,
+            d.G.source,
+            aloc.Location.loc_start.Lexing.pos_lnum,
+            reason ))
+        (Sentinel_rules.audited graph entries);
+  }
+
+(* The closure report CI greps: which units the worker entry points can
+   reach, and which annotations vouch for the shared state they touch. *)
+let render_summary r =
+  [
+    Printf.sprintf "klotski-sentinel: %d units, %d defs analyzed" r.unit_count
+      r.def_count;
+    Printf.sprintf "S1 roots: %s" (String.concat ", " r.closure_roots);
+    Printf.sprintf "S1 worker-reachable units: %s"
+      (String.concat ", " r.closure_units);
+  ]
+  @
+  match r.audited with
+  | [] -> []
+  | audited ->
+      "audited [@@klotski.domain_safe] state in the closure:"
+      :: List.map
+           (fun (display, file, line, reason) ->
+             Printf.sprintf "  %s (%s:%d)%s" display file line
+               (match reason with Some why -> " — " ^ why | None -> ""))
+           audited

@@ -1,0 +1,73 @@
+(* Stage-one input for klotski-sentinel: compiler-generated [.cmt]
+   typedtrees.  Dune always compiles with [-bin-annot], so every library
+   module under [_build] carries its typed AST; loading those instead of
+   re-parsing sources gives the analyzer [Path]-resolved identifiers —
+   aliases, [open]s and functor applications are already resolved by the
+   type checker, which is exactly what the syntactic klotski-lint pass
+   cannot see. *)
+
+type unit_info = {
+  unit_name : string;  (* compilation unit, e.g. "Cache", "Kutil__Bitset" *)
+  source : string;  (* source path as recorded by the compiler *)
+  str : Typedtree.structure;
+}
+
+let has_suffix suf path = Filename.check_suffix path suf
+
+(* Deterministic recursive [.cmt] collection.  Unlike the source scan in
+   [Lint], dot-directories are included: dune hides object directories
+   under [.libname.objs].  Executable object dirs ([.x.eobjs]) are
+   skipped — their units are mangled [Dune__exe] wrappers and the rules
+   only concern library code. *)
+let rec collect acc path =
+  if Sys.file_exists path && Sys.is_directory path then
+    if has_suffix ".eobjs" path then acc
+    else
+      Array.to_list (Sys.readdir path)
+      |> List.sort String.compare
+      |> List.fold_left (fun acc name -> collect acc (Filename.concat path name)) acc
+  else if has_suffix ".cmt" path then path :: acc
+  else acc
+
+let load_file path =
+  match Cmt_format.read_cmt path with
+  | { Cmt_format.cmt_annots = Cmt_format.Implementation str;
+      cmt_modname;
+      cmt_sourcefile;
+      _;
+    } ->
+      let source =
+        match cmt_sourcefile with Some s -> s | None -> path
+      in
+      Ok (Some { unit_name = cmt_modname; source; str })
+  | _ -> Ok None  (* interface or partial cmt: nothing to analyze *)
+  | exception exn ->
+      Error
+        (Lint_finding.v ~file:path ~line:1 ~col:0 ~rule:"sentinel"
+           (Printf.sprintf "failed to load cmt: %s" (Printexc.to_string exn)))
+
+(* [load ~roots] returns every implementation typedtree under the roots,
+   sorted by unit name, plus loader problems as findings.  Duplicate unit
+   names (the same library built for byte and native) keep the first
+   occurrence in path order. *)
+let load ~roots =
+  let files =
+    List.fold_left collect [] roots |> List.sort_uniq String.compare
+  in
+  let seen = Hashtbl.create 64 in
+  let units = ref [] and problems = ref [] in
+  List.iter
+    (fun path ->
+      match load_file path with
+      | Ok (Some u) ->
+          if not (Hashtbl.mem seen u.unit_name) then begin
+            Hashtbl.replace seen u.unit_name ();
+            units := u :: !units
+          end
+      | Ok None -> ()
+      | Error f -> problems := f :: !problems)
+    files;
+  let units =
+    List.sort (fun a b -> String.compare a.unit_name b.unit_name) !units
+  in
+  (units, List.rev !problems)

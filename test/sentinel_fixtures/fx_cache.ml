@@ -1,0 +1,6 @@
+(* S3: a key-feeding function that is nondeterministic only through a
+   callee — the clock never appears in [key_of]'s own body. *)
+
+let stamp () = int_of_float (Sys.time ())
+
+let key_of v = (stamp () * 31) + v

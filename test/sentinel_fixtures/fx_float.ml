@@ -1,0 +1,11 @@
+(* S2: float accumulation in hash-order traversals — once through a
+   named callback (only the interprocedural effect solve can see its
+   float arithmetic), once inline. *)
+
+let costs : (int, float) Hashtbl.t = Hashtbl.create 16
+
+let add_cost _key v acc = acc +. v
+
+let total_cost () = Hashtbl.fold add_cost costs 0.0
+
+let inline_cost () = Hashtbl.fold (fun _key v acc -> acc +. v) costs 0.0

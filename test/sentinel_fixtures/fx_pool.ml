@@ -1,0 +1,14 @@
+(* Worker entry point [map], calling into shared state through a module
+   alias — the case syntactic reachability can miss and Path-resolved
+   analysis must not: the racy write surfaces in fx_state.ml, attributed
+   to this root. *)
+
+module S = Fx_state
+
+let worker x =
+  S.bump_pool ();
+  x
+
+let map f xs =
+  ignore (worker 0);
+  List.map f xs

@@ -50,12 +50,76 @@ let suppression_is_clean () =
     "reasoned allow directives silence every finding" []
     (render "suppress_ok.ml")
 
+(* R2 reachability regressions, on synthetic parsed files.  The alias
+   table must resolve references through module aliases even when the
+   alias lives in a file whose name matches no referenced module —
+   before the fix, [Kit.State] resolved to no file and state_mod.ml
+   escaped R2 enforcement. *)
+let parse_files files =
+  List.map (fun (name, src) -> (name, Lint.parse ~file:name src)) files
+
+let reaches set file = List.exists (String.equal file) set
+
+let reach ~roots files =
+  match Lint_reach.reachable ~root_modules:roots (parse_files files) with
+  | None -> Alcotest.fail "no scanned file defines the root module"
+  | Some set -> set
+
+let reach_alias_chain () =
+  let set =
+    reach ~roots:[ "Root" ]
+      [
+        ("root.ml", "let go () = Kit.State.bump ()");
+        ("helper.ml", "module State = State_mod\nlet use = State.bump");
+        ( "state_mod.ml",
+          "let cache = Hashtbl.create 8\nlet bump () = Hashtbl.replace cache 0 0"
+        );
+        ("other.ml", "let unrelated = 1");
+      ]
+  in
+  Alcotest.(check bool)
+    "state_mod reached through the alias chain" true
+    (reaches set "state_mod.ml");
+  Alcotest.(check bool)
+    "unreferenced file stays out of scope" false
+    (reaches set "other.ml")
+
+let reach_direct_alias () =
+  let set =
+    reach ~roots:[ "Root" ]
+      [
+        ("root.ml", "module C = State_mod\nlet go () = C.bump ()");
+        ("state_mod.ml", "let cache = ref 0\nlet bump () = incr cache");
+      ]
+  in
+  Alcotest.(check bool)
+    "module C = State_mod pulls the target into scope" true
+    (reaches set "state_mod.ml")
+
+let reach_include () =
+  let set =
+    reach ~roots:[ "Root" ]
+      [
+        ("root.ml", "include Shim");
+        ("shim.ml", "let h () = State_mod.bump ()");
+        ("state_mod.ml", "let cache = ref 0\nlet bump () = incr cache");
+      ]
+  in
+  Alcotest.(check bool)
+    "include chains close over the included module's references" true
+    (reaches set "state_mod.ml")
+
 let suite =
   ( "lint",
     List.map (fun name -> Alcotest.test_case name `Quick (golden name)) fixtures
     @ [
         Alcotest.test_case "reasoned suppressions lint clean" `Quick
           suppression_is_clean;
+        Alcotest.test_case "reach: alias chain across files" `Quick
+          reach_alias_chain;
+        Alcotest.test_case "reach: direct module alias" `Quick
+          reach_direct_alias;
+        Alcotest.test_case "reach: include" `Quick reach_include;
       ] )
 
 let () = Alcotest.run "klotski-lint" [ suite ]

@@ -1,0 +1,98 @@
+(* Golden tests for the klotski-sentinel rule catalog (lib/analysis):
+   each fixture under [sentinel_fixtures/] pairs with a [.expected]
+   file holding the exact findings, one [file:line:col [rule] message]
+   line each.  The analyzer reads [.cmt] typedtrees, so the fixtures
+   are a tiny library dune compiles for us (warnings off) and one
+   whole-program analysis over its object directory backs every case.
+
+   The working directory moves up to the build root first: source
+   paths recorded in the cmts ("test/sentinel_fixtures/...") must
+   resolve on disk for suppression-comment scanning.
+
+   A separate binary from [test_main] for the same reason as
+   [test_lint]: compiler-libs' [Switch] unit clashes with the topology
+   library's. *)
+
+let () = Sys.chdir Filename.parent_dir_name
+
+let fixture_dir = Filename.concat "test" "sentinel_fixtures"
+
+let config =
+  {
+    Sentinel.s1_roots = [ "Fx_engine.check"; "Fx_pool.map" ];
+    s3_roots = [ "Fx_cache.key_of" ];
+    source_roots = [ fixture_dir ];
+  }
+
+let report = lazy (Sentinel.analyze ~config ~cmt_roots:[ fixture_dir ] ())
+
+let findings_for base =
+  (Lazy.force report).Sentinel.findings
+  |> List.filter (fun (f : Lint_finding.t) ->
+         String.equal (Filename.basename f.Lint_finding.file) base)
+  |> List.map (fun (f : Lint_finding.t) ->
+         Lint_finding.to_string
+           { f with Lint_finding.file = Filename.basename f.Lint_finding.file })
+
+let read_expected name =
+  let ic = open_in (Filename.concat fixture_dir name) in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line ->
+            go (if String.equal (String.trim line) "" then acc else line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let golden base () =
+  let expected = read_expected (Filename.chop_suffix base ".ml" ^ ".expected") in
+  Alcotest.(check (list string)) base expected (findings_for base)
+
+let fixtures =
+  [
+    "fx_state.ml";
+    "fx_engine.ml";
+    "fx_pool.ml";
+    "fx_float.ml";
+    "fx_cache.ml";
+    "fx_dead.ml";
+  ]
+
+(* A typo'd root would silently empty the closure; the analyzer reports
+   unresolved roots as findings under a synthetic file. *)
+let roots_resolve () =
+  Alcotest.(check (list string))
+    "all configured roots resolve" []
+    (findings_for "(sentinel-config)")
+
+let closure_covers_workers () =
+  let r = Lazy.force report in
+  List.iter
+    (fun u ->
+      Alcotest.(check bool)
+        (u ^ " in S1 closure") true
+        (List.exists (String.equal u) r.Sentinel.closure_units))
+    [ "Fx_engine"; "Fx_pool"; "Fx_state" ]
+
+let audited_listed () =
+  let r = Lazy.force report in
+  Alcotest.(check bool)
+    "audited annotation surfaces in the closure report" true
+    (List.exists
+       (fun (display, _, _, _) -> String.equal display "Fx_state.audited")
+       r.Sentinel.audited)
+
+let suite =
+  ( "sentinel",
+    List.map (fun name -> Alcotest.test_case name `Quick (golden name)) fixtures
+    @ [
+        Alcotest.test_case "configured roots resolve" `Quick roots_resolve;
+        Alcotest.test_case "closure covers worker modules" `Quick
+          closure_covers_workers;
+        Alcotest.test_case "audited state listed" `Quick audited_listed;
+      ] )
+
+let () = Alcotest.run "klotski-sentinel" [ suite ]
