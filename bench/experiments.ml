@@ -433,9 +433,11 @@ let ext opts =
     (fun w ->
       let weights =
         Array.init n (fun a ->
-            match (Action.Set.get base.Task.actions a).Action.op with
-            | Action.Drain -> w
-            | Action.Undrain -> 1.0)
+            (* Deactivating live gear is the costly labor; everything
+               else (undrains, OCS flips) stays at unit weight. *)
+            match Action.applies (Action.Set.get base.Task.actions a) with
+            | Action.Set_activity false -> w
+            | Action.Set_activity true | Action.Set_wiring _ -> 1.0)
       in
       let task = Task.with_params ~type_weights:weights base in
       match (Astar.plan ~config:(cfg opts) task).Planner.outcome with
@@ -1257,6 +1259,225 @@ let scale opts =
   write_scale_json path (List.rev !rows);
   Runner.note (Printf.sprintf "wrote %s" path)
 
+(* ------------------------------------------------------------------ *)
+(* OCS: the topology-changing action alphabet end to end.  The rewire
+   scenario retargets the FAUU uplink bundles onto a second EB bank
+   through an optical circuit switch; the FAUUs have zero port headroom
+   (Eq. 6 forbids undraining a duplicate uplink first) and the uplink
+   stripe is the calibrated hotspot (draining either bank first doubles
+   its utilization past θ), so the same target expressed with
+   drain/undrain alone — the swap variant — is infeasible, while the
+   degree- and load-preserving Rewire plans cleanly.  MRC and Janus
+   have no wiring semantics and must refuse the alphabet.  Dumped to
+   BENCH_OCS.json. *)
+
+let write_ocs_json path ~label ~swap_label planners swaps =
+  let oc = open_out path in
+  fprint_json_header oc "ocs";
+  Printf.fprintf oc "  \"topology\": %S,\n" label;
+  let all_same =
+    List.for_all
+      (fun (_, _, _, _, _, same, _) ->
+        match same with Some false -> false | Some true | None -> true)
+      planners
+  in
+  Printf.fprintf oc "  \"same_cost\": %b,\n" all_same;
+  Printf.fprintf oc "  \"planners\": [\n";
+  let np = List.length planners in
+  List.iteri
+    (fun i (pname, outcome, cost, rewires, audit, same, variants) ->
+      Printf.fprintf oc
+        "    {\"planner\": %S, \"outcome\": %S, \"cost\": %s,\n\
+        \     \"rewire_phases\": %d, \"audit\": %s, \"same_cost\": %s"
+        pname outcome
+        (match cost with
+        | Some c -> Printf.sprintf "%.6f" c
+        | None -> "null")
+        rewires
+        (match audit with
+        | Some true -> "true"
+        | Some false -> "false"
+        | None -> "null")
+        (match same with
+        | Some true -> "true"
+        | Some false -> "false"
+        | None -> "null");
+      (match variants with
+      | [] -> ()
+      | vs ->
+          Printf.fprintf oc ",\n     \"runs\": [\n";
+          let nv = List.length vs in
+          List.iteri
+            (fun k (jobs, incremental, vcost, seconds) ->
+              Printf.fprintf oc
+                "       {\"jobs\": %d, \"incremental\": %b, \"cost\": %s, \
+                 \"seconds\": %.3f}%s\n"
+                jobs incremental
+                (match vcost with
+                | Some c -> Printf.sprintf "%.6f" c
+                | None -> "null")
+                seconds
+                (if k = nv - 1 then "" else ","))
+            vs;
+          Printf.fprintf oc "     ]");
+      Printf.fprintf oc "}%s\n" (if i = np - 1 then "" else ","))
+    planners;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc "  \"swap\": {\"topology\": %S, \"planners\": [\n" swap_label;
+  let ns = List.length swaps in
+  List.iteri
+    (fun i (pname, outcome) ->
+      Printf.fprintf oc "    {\"planner\": %S, \"outcome\": %S}%s\n" pname
+        outcome
+        (if i = ns - 1 then "" else ","))
+    swaps;
+  Printf.fprintf oc "  ]}\n}\n";
+  close_out oc
+
+let ocs opts =
+  Runner.heading "OCS rewire: the extensible action alphabet end to end";
+  Runner.note
+    "Rewire retargets the FAUU uplinks onto a new EB bank through an \
+     OCS.  Zero FAUU port headroom plus a hot uplink stripe make every \
+     drain/undrain-only ordering unsafe, so the swap variant of the \
+     same target is infeasible while Rewire plans cleanly; MRC and \
+     Janus have no wiring semantics and refuse.  A*/DP run at jobs 1 \
+     and 4, incremental and full evaluation; same_cost asserts all \
+     four agree per planner.";
+  let label, swap_label =
+    if opts.quick then ("OCS-LITE", "OCS-SWAP-LITE") else ("OCS", "OCS-SWAP")
+  in
+  let task = Task.of_scenario (Gen.scenario_of_label label) in
+  let swap_task = Task.of_scenario (Gen.scenario_of_label swap_label) in
+  let outcome_string (r : Planner.result) =
+    match r.Planner.outcome with
+    | Planner.Found _ -> "found"
+    | Planner.Infeasible -> "infeasible"
+    | Planner.Timeout _ -> "timeout"
+    | Planner.Unsupported _ -> "unsupported"
+  in
+  let rewire_phases plan =
+    List.length
+      (List.filter
+         (fun (ph : Klotski.phase) ->
+           Action.affects_wiring ph.Klotski.action)
+         (Klotski.phases task plan))
+  in
+  let t =
+    Table_fmt.create
+      ~headers:
+        [ "Planner"; "Jobs"; "Eval"; "Outcome"; "Cost"; "Rewires"; "Audit";
+          "Seconds" ]
+  in
+  let rows = ref [] in
+  (* MRC / Janus: one run each; both must refuse the wiring alphabet. *)
+  List.iter
+    (fun (pname, plan) ->
+      Printf.printf "  %s / %s...\n%!" label pname;
+      let r = plan ~config:(cfg opts) task in
+      Table_fmt.add_row t
+        [
+          pname; "1"; "inc"; outcome_string r; Runner.cross; "0"; "";
+          Printf.sprintf "%.3f" r.Planner.stats.Planner.elapsed;
+        ];
+      rows := (pname, outcome_string r, None, 0, None, None, []) :: !rows)
+    [
+      ("MRC", fun ~config task -> Mrc.plan ~config task);
+      ("Janus", fun ~config task -> Janus.plan ~config task);
+    ];
+  (* A* / DP: the jobs x evaluation grid; every cell must agree on the
+     plan cost, and the jobs=1 incremental plan must audit clean and
+     actually contain rewire phases. *)
+  List.iter
+    (fun (pname, plan) ->
+      let variants =
+        List.map
+          (fun (jobs, incremental) ->
+            Printf.printf "  %s / %s jobs=%d %s...\n%!" label pname jobs
+              (if incremental then "inc" else "full");
+            let config =
+              Planner.with_incremental incremental
+                (Planner.with_jobs jobs (cfg opts))
+            in
+            let r = plan ~config task in
+            (jobs, incremental, r))
+          [ (1, true); (1, false); (4, true); (4, false) ]
+      in
+      let base =
+        match variants with (_, _, r) :: _ -> r | [] -> assert false
+      in
+      let base_cost = Planner.cost_of base in
+      let same_cost =
+        Some
+          (List.for_all
+             (fun (_, _, r) ->
+               match (base_cost, Planner.cost_of r) with
+               | Some a, Some b -> Float.abs (a -. b) < 1e-9
+               | None, None -> true
+               | _ -> false)
+             variants)
+      in
+      let rewires, audit =
+        match base.Planner.outcome with
+        | Planner.Found p | Planner.Timeout (Some p) ->
+            ( rewire_phases p,
+              Some (match Plan.validate task p with Ok () -> true | Error _ -> false) )
+        | _ -> (0, None)
+      in
+      List.iter
+        (fun (jobs, incremental, r) ->
+          Table_fmt.add_row t
+            [
+              pname;
+              string_of_int jobs;
+              (if incremental then "inc" else "full");
+              outcome_string r;
+              (match Planner.cost_of r with
+              | Some c -> Printf.sprintf "%g" c
+              | None -> Runner.cross);
+              string_of_int rewires;
+              (match audit with
+              | Some true -> "ok"
+              | Some false -> "FAIL"
+              | None -> "");
+              Printf.sprintf "%.3f" r.Planner.stats.Planner.elapsed;
+            ])
+        variants;
+      rows :=
+        ( pname, outcome_string base, base_cost, rewires, audit, same_cost,
+          List.map
+            (fun (jobs, incremental, r) ->
+              ( jobs, incremental, Planner.cost_of r,
+                r.Planner.stats.Planner.elapsed ))
+            variants )
+        :: !rows)
+    [
+      ("Klotski-DP", fun ~config task -> Dp.plan ~config task);
+      ("Klotski-A*", fun ~config task -> Astar.plan ~config task);
+    ];
+  Table_fmt.print ~align:Table_fmt.Right t;
+  (* The swap variant: the same target topology without the Rewire op
+     in the alphabet.  Every ordering is unsafe, so both optimal
+     planners must report infeasibility. *)
+  let swaps =
+    List.map
+      (fun (pname, plan) ->
+        Printf.printf "  %s / %s...\n%!" swap_label pname;
+        let r = plan ~config:(cfg opts) swap_task in
+        (pname, outcome_string r))
+      [
+        ("Klotski-DP", fun ~config task -> Dp.plan ~config task);
+        ("Klotski-A*", fun ~config task -> Astar.plan ~config task);
+      ]
+  in
+  Runner.note
+    (Printf.sprintf "swap variant (%s): %s" swap_label
+       (String.concat ", "
+          (List.map (fun (p, o) -> Printf.sprintf "%s %s" p o) swaps)));
+  let path = "BENCH_OCS.json" in
+  write_ocs_json path ~label ~swap_label (List.rev !rows) swaps;
+  Runner.note (Printf.sprintf "wrote %s" path)
+
 let all = [
   ("table1", table1);
   ("table3", table3);
@@ -1272,4 +1493,5 @@ let all = [
   ("robust", robust);
   ("ext", ext);
   ("scale", scale);
+  ("ocs", ocs);
 ]

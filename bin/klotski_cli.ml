@@ -111,12 +111,19 @@ let load_task ?(theta = 0.75) ?(alpha = 0.0) ?(block_factor = 1.0) ?(seed = 42)
 
 let gen_cmd =
   let label =
-    let doc = "Topology label from the paper's Table 3 (A, B, C, D, E)." in
+    let doc =
+      "Topology label: the paper's Table 3 (A, B, C, D, E) or the OCS \
+       tiers (OCS, OCS-LITE)."
+    in
     Arg.(value & opt string "A" & info [ "label" ] ~doc)
   in
   let kind =
-    let doc = "Migration kind: hgrid-v1-to-v2, ssw-forklift or dmag." in
-    Arg.(value & opt string "hgrid-v1-to-v2" & info [ "kind" ] ~doc)
+    let doc =
+      "Migration kind: hgrid-v1-to-v2, ssw-forklift, dmag, ocs-rewire or \
+       ocs-swap.  Defaults to the kind the label's scenario family is \
+       built for: ocs-rewire for the OCS tiers, hgrid-v1-to-v2 otherwise."
+    in
+    Arg.(value & opt (some string) None & info [ "kind" ] ~doc)
   in
   let output =
     let doc = "Output file (stdout when omitted)." in
@@ -131,17 +138,22 @@ let gen_cmd =
       | "C" -> Gen.params_c ()
       | "D" -> Gen.params_d ()
       | "E" -> Gen.params_e ()
+      | "OCS" -> Gen.params_ocs ()
+      | "OCS-LITE" -> Gen.params_ocs_lite ()
       | other ->
           Printf.eprintf "error: unknown topology label %S\n" other;
           exit 1
     in
     let kind =
-      match kind with
-      | "hgrid-v1-to-v2" -> Gen.Hgrid_v1_to_v2
-      | "ssw-forklift" -> Gen.Ssw_forklift
-      | "dmag" -> Gen.Dmag
-      | other ->
-          Printf.eprintf "error: unknown migration kind %S\n" other;
+      let default =
+        if String.length label >= 3 && String.sub label 0 3 = "OCS" then
+          "ocs-rewire"
+        else "hgrid-v1-to-v2"
+      in
+      match Npd_convert.kind_of_id (Option.value kind ~default) with
+      | Ok k -> k
+      | Error e ->
+          Printf.eprintf "error: %s\n" e;
           exit 1
     in
     let doc = Npd_convert.of_params kind params in
@@ -283,7 +295,20 @@ let plan_cmd =
             match
               Npd_printer.write_file out (Npd_export.plan_to_npd task plan)
             with
-            | Ok () -> Printf.printf "wrote plan phases to %s\n" out
+            | Ok () -> (
+                (* Self-check: the file we just wrote must parse back,
+                   including the op prefix of every action string. *)
+                match
+                  Result.bind (Npd_parser.parse_file out)
+                    Npd_export.phases_of_npd
+                with
+                | Ok phases ->
+                    Printf.printf "wrote plan phases to %s (%d phases)\n" out
+                      (List.length phases)
+                | Error e ->
+                    Printf.eprintf
+                      "error: written plan fails to re-parse: %s\n" e;
+                    exit 1)
             | Error e ->
                 Printf.eprintf "error: %s\n" e;
                 exit 1))

@@ -74,13 +74,18 @@ let remainder_task (task : Task.t) ~executed =
   List.iter
     (fun b ->
       let block = task.Task.blocks.(b) in
-      let active =
-        match block.Blocks.action.Action.op with
-        | Action.Drain -> false
-        | Action.Undrain -> true
-      in
-      Array.iter (fun s -> Topo.set_switch_active topo s active) block.Blocks.switches;
-      Array.iter (fun c -> Topo.set_circuit_active topo c active) block.Blocks.circuits)
+      match Action.applies block.Blocks.action with
+      | Action.Set_activity active ->
+          Array.iter
+            (fun s -> Topo.set_switch_active topo s active)
+            block.Blocks.switches;
+          Array.iter
+            (fun c -> Topo.set_circuit_active topo c active)
+            block.Blocks.circuits
+      | Action.Set_wiring target ->
+          Array.iter
+            (fun c -> Topo.set_circuit_hi topo c target)
+            block.Blocks.circuits)
     executed;
   (* Re-index the remaining blocks, preserving canonical per-type order. *)
   let mapping = ref [] in

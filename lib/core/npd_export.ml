@@ -35,6 +35,7 @@ let plan_to_npd (task : Task.t) (plan : Plan.t) =
 type phase_summary = {
   index : int;
   action : string;
+  op : Action.op;
   blocks : string list;
   switches : int;
   circuits : int;
@@ -98,9 +99,29 @@ let phases_of_npd (doc : Npd_ast.t) =
             | Ok s -> s
             | Error e -> raise (Bad e)
           in
+          let action = string_field section "action" ~default:"" in
+          (* The action string is "<op> <target>" (Action.to_string); the
+             op prefix must round-trip through Action.of_string, so a
+             document written by a newer alphabet fails loudly here
+             instead of silently downgrading to text. *)
+          let op =
+            let token =
+              match String.index_opt action ' ' with
+              | Some i -> String.sub action 0 i
+              | None -> action
+            in
+            match Action.of_string token with
+            | Some op -> op
+            | None ->
+                raise
+                  (Bad
+                     (Printf.sprintf "phase %d: unknown action op %S" index
+                        token))
+          in
           {
             index;
-            action = string_field section "action" ~default:"";
+            action;
+            op;
             blocks;
             switches = int_field section "switches" ~default:0;
             circuits = int_field section "circuits" ~default:0;

@@ -15,6 +15,10 @@ val plan_to_npd : Task.t -> Plan.t -> Npd_ast.t
 type phase_summary = {
   index : int;
   action : string;  (** e.g. ["drain HGRID-v1/mesh0"]. *)
+  op : Action.op;
+      (** The operation parsed back out of [action] via
+          {!Action.of_string} — parsing fails loudly on an op the alphabet
+          does not know rather than degrading to opaque text. *)
   blocks : string list;  (** Block labels operated in this phase. *)
   switches : int;
   circuits : int;

@@ -1,6 +1,41 @@
-type op = Drain | Undrain
+type op =
+  | Drain
+  | Undrain
+  | Rewire of { circuit_sel : string; new_hi : int }
 
-let op_to_string = function Drain -> "drain" | Undrain -> "undrain"
+let op_to_string = function
+  | Drain -> "drain"
+  | Undrain -> "undrain"
+  | Rewire { circuit_sel; new_hi } ->
+      Printf.sprintf "rewire(%s->%d)" circuit_sel new_hi
+
+(* Inverse of [op_to_string].  The rewire payload is recovered by
+   splitting on the LAST "->" of the parenthesized body, so selectors
+   containing "->" still round-trip. *)
+let of_string s =
+  match s with
+  | "drain" -> Some Drain
+  | "undrain" -> Some Undrain
+  | _ ->
+      let n = String.length s in
+      if n >= 11 && String.sub s 0 7 = "rewire(" && s.[n - 1] = ')' then begin
+        let body = String.sub s 7 (n - 8) in
+        let arrow = ref (-1) in
+        for i = String.length body - 2 downto 0 do
+          if !arrow < 0 && body.[i] = '-' && body.[i + 1] = '>' then arrow := i
+        done;
+        if !arrow < 0 then None
+        else
+          let sel = String.sub body 0 !arrow in
+          let hi = String.sub body (!arrow + 2) (String.length body - !arrow - 2) in
+          match int_of_string_opt hi with
+          | Some new_hi when new_hi >= 0 ->
+              Some (Rewire { circuit_sel = sel; new_hi })
+          | Some _ | None -> None
+      end
+      else None
+
+type effect = Set_activity of bool | Set_wiring of int option
 
 type target =
   | Switch_layer of Switch.role * int
@@ -10,6 +45,32 @@ type target =
 type t = { op : op; target : target }
 
 let make op target = { op; target }
+
+(* The single exhaustive dispatch over the alphabet: everything else
+   asks these five questions instead of matching on [op], so adding a
+   fourth operation is a change local to this block. *)
+let applies a =
+  match a.op with
+  | Drain -> Set_activity false
+  | Undrain -> Set_activity true
+  | Rewire { new_hi; _ } -> Set_wiring (Some new_hi)
+
+let inverse a =
+  match a.op with
+  | Drain -> Set_activity true
+  | Undrain -> Set_activity false
+  | Rewire _ -> Set_wiring None
+
+let affects_wiring a =
+  match a.op with Drain | Undrain -> false | Rewire _ -> true
+
+let initial_active a =
+  match a.op with Drain | Rewire _ -> true | Undrain -> false
+
+let funnels a = match a.op with Drain -> true | Undrain | Rewire _ -> false
+
+let rewire_target a =
+  match a.op with Drain | Undrain -> None | Rewire { new_hi; _ } -> Some new_hi
 
 let target_to_string = function
   | Switch_layer (role, generation) ->
@@ -25,7 +86,17 @@ let to_string a =
    old [Stdlib.compare] (constructor declaration order, fields left to
    right), but monomorphic — adding a float or functional field to a
    target can no longer silently change plan ordering semantics. *)
-let op_rank = function Drain -> 0 | Undrain -> 1
+let op_rank = function Drain -> 0 | Undrain -> 1 | Rewire _ -> 2
+
+let compare_op a b =
+  let c = Int.compare (op_rank a) (op_rank b) in
+  if c <> 0 then c
+  else
+    match (a, b) with
+    | Rewire ra, Rewire rb ->
+        let c = String.compare ra.circuit_sel rb.circuit_sel in
+        if c <> 0 then c else Int.compare ra.new_hi rb.new_hi
+    | (Drain | Undrain | Rewire _), _ -> 0
 
 let compare_target a b =
   match (a, b) with
@@ -42,11 +113,11 @@ let compare_target a b =
   | Circuit_group na, Circuit_group nb -> String.compare na nb
 
 let compare (a : t) (b : t) =
-  let c = Int.compare (op_rank a.op) (op_rank b.op) in
+  let c = compare_op a.op b.op in
   if c <> 0 then c else compare_target a.target b.target
 
 let equal (a : t) (b : t) =
-  op_rank a.op = op_rank b.op && compare_target a.target b.target = 0
+  compare_op a.op b.op = 0 && compare_target a.target b.target = 0
 
 let pp fmt a = Format.pp_print_string fmt (to_string a)
 

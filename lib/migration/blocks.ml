@@ -100,7 +100,9 @@ let attach_future_circuits topo blocks =
   let owner = Hashtbl.create 256 in
   List.iter
     (fun b ->
-      if b.action.Action.op = Action.Undrain then
+      (* Onboarding blocks — those whose elements start inactive — own
+         the future circuits hanging off their switches. *)
+      if not (Action.initial_active b.action) then
         Array.iter (fun s -> Hashtbl.replace owner s b.id) b.switches)
     blocks;
   let claimed = Hashtbl.create 256 in
@@ -220,16 +222,80 @@ let organize_dmag ?(factor = 1.0) (sc : Gen.scenario) =
   in
   build_blocks (drains @ undrains)
 
+(* OCS scenarios: rewire blocks retarget whole circuit groups through
+   the optical switch (each group one action type, carrying its target
+   endpoint in the payload); the swap variant expresses the same goal
+   with standalone circuit drains/undrains instead; either way the
+   retired boundary switches are drained per-switch at the end. *)
+let organize_ocs ?(factor = 1.0) (sc : Gen.scenario) =
+  let rewires =
+    List.concat_map
+      (fun (label, circuits, new_hi) ->
+        List.mapi
+          (fun i slice ->
+            ( Printf.sprintf "rewire %s/block%d" label i,
+              Action.make
+                (Action.Rewire { circuit_sel = label; new_hi })
+                (Action.Circuit_group label),
+              [],
+              slice ))
+          (apply_factor factor [ circuits ]))
+      sc.Gen.rewire_groups
+  in
+  let circuit_drains =
+    List.mapi
+      (fun i circuits ->
+        ( Printf.sprintf "drain fauu-eb/group%d" i,
+          Action.make Action.Drain (Action.Circuit_group "FAUU-EB"),
+          [],
+          circuits ))
+      (apply_factor factor
+         (List.map (fun (_, circuits) -> circuits) sc.Gen.drain_circuit_groups))
+  in
+  let circuit_undrains =
+    List.mapi
+      (fun i circuits ->
+        ( Printf.sprintf "undrain fauu-ebnew/group%d" i,
+          Action.make Action.Undrain (Action.Circuit_group "FAUU-EB-NEW"),
+          [],
+          circuits ))
+      (apply_factor factor
+         (List.map
+            (fun (_, circuits) -> circuits)
+            sc.Gen.undrain_circuit_groups))
+  in
+  let eb_drains =
+    List.mapi
+      (fun i switches ->
+        ( Printf.sprintf "drain eb/block%d" i,
+          Action.make Action.Drain (Action.Switch_layer (Switch.EB, 1)),
+          switches,
+          [] ))
+      (apply_factor factor (List.map (fun s -> [ s ]) sc.Gen.drain_switches))
+  in
+  build_blocks (rewires @ circuit_drains @ circuit_undrains @ eb_drains)
+
 let organize ?(factor = 1.0) (sc : Gen.scenario) =
   let blocks =
     match sc.Gen.kind with
     | Gen.Hgrid_v1_to_v2 -> organize_hgrid ~factor sc
     | Gen.Ssw_forklift -> organize_forklift ~factor sc
     | Gen.Dmag -> organize_dmag ~factor sc
+    | Gen.Ocs_rewire | Gen.Ocs_swap -> organize_ocs ~factor sc
   in
   attach_future_circuits sc.Gen.topo blocks
 
 let symmetry_granularity (sc : Gen.scenario) =
+  (* Switches touched by rewires — the as-built endpoints losing circuits
+     and the targets gaining them — are pinned into singleton symmetry
+     blocks: two switches whose wiring diverges mid-plan are never
+     interchangeable, however alike their as-built signatures. *)
+  let pinned =
+    List.concat_map
+      (fun (_, circuits, new_hi) ->
+        new_hi :: List.map (fun c -> Topo.endpoint_hi sc.Gen.topo c) circuits)
+      sc.Gen.rewire_groups
+  in
   let symmetry op scope =
     List.map
       (fun (b : Symmetry.block) ->
@@ -239,10 +305,21 @@ let symmetry_granularity (sc : Gen.scenario) =
           Action.make op (Action.Switch_layer (b.Symmetry.role, b.Symmetry.generation)),
           b.Symmetry.members,
           [] ))
-      (Symmetry.blocks (Topo.universe sc.Gen.topo) ~scope)
+      (Symmetry.blocks (Topo.universe sc.Gen.topo) ~pinned ~scope)
   in
   let drains = symmetry Action.Drain sc.Gen.drain_switches in
   let undrains = symmetry Action.Undrain sc.Gen.undrain_switches in
+  let rewires =
+    List.map
+      (fun (label, circuits, new_hi) ->
+        ( Printf.sprintf "rewire %s" label,
+          Action.make
+            (Action.Rewire { circuit_sel = label; new_hi })
+            (Action.Circuit_group label),
+          [],
+          circuits ))
+      sc.Gen.rewire_groups
+  in
   let circuit_drains =
     List.map
       (fun (label, circuits) ->
@@ -252,8 +329,18 @@ let symmetry_granularity (sc : Gen.scenario) =
           circuits ))
       sc.Gen.drain_circuit_groups
   in
+  let circuit_undrains =
+    List.map
+      (fun (label, circuits) ->
+        ( Printf.sprintf "undrain %s" label,
+          Action.make Action.Undrain (Action.Circuit_group "FAUU-EB-NEW"),
+          [],
+          circuits ))
+      sc.Gen.undrain_circuit_groups
+  in
   attach_future_circuits sc.Gen.topo
-    (build_blocks (drains @ circuit_drains @ undrains))
+    (build_blocks
+       (drains @ rewires @ circuit_drains @ circuit_undrains @ undrains))
 
 let validate topo blocks =
   let seen_sw = Hashtbl.create 64 and seen_ci = Hashtbl.create 64 in
@@ -261,9 +348,7 @@ let validate topo blocks =
   let fail fmt = Printf.ksprintf (fun s -> if !error = None then error := Some s) fmt in
   List.iter
     (fun b ->
-      let active_expected =
-        match b.action.Action.op with Action.Drain -> true | Action.Undrain -> false
-      in
+      let active_expected = Action.initial_active b.action in
       Array.iter
         (fun s ->
           if Hashtbl.mem seen_sw s then fail "switch %d in two blocks" s;

@@ -284,19 +284,28 @@ let note_pending st b =
   st.pending_len <- st.pending_len + 1
 
 let set_block ck (b : Blocks.t) ~applied =
-  let active =
-    match b.Blocks.action.Action.op with
-    | Action.Drain -> not applied
-    | Action.Undrain -> applied
+  let effect =
+    if applied then Action.applies b.Blocks.action
+    else Action.inverse b.Blocks.action
   in
-  Array.iter
-    (fun s ->
-      if Topo.switch_active ck.topo s <> active then begin
-        bump_power ck s ~became_active:active;
-        Topo.set_switch_active ck.topo s active
-      end)
-    b.Blocks.switches;
-  Array.iter (fun c -> Topo.set_circuit_active ck.topo c active) b.Blocks.circuits;
+  (match effect with
+  | Action.Set_activity active ->
+      Array.iter
+        (fun s ->
+          if Topo.switch_active ck.topo s <> active then begin
+            bump_power ck s ~became_active:active;
+            Topo.set_switch_active ck.topo s active
+          end)
+        b.Blocks.switches;
+      Array.iter
+        (fun c -> Topo.set_circuit_active ck.topo c active)
+        b.Blocks.circuits
+  | Action.Set_wiring target ->
+      (* An OCS flip: no activity toggles, no power transition — the
+         block's circuits atomically retarget their hi endpoint. *)
+      Array.iter
+        (fun c -> Topo.set_circuit_hi ck.topo c target)
+        b.Blocks.circuits);
   let w = b.Blocks.id / 63 and bit = 1 lsl (b.Blocks.id mod 63) in
   ck.applied.(w) <-
     (if applied then ck.applied.(w) lor bit else ck.applied.(w) land lnot bit);
@@ -358,6 +367,13 @@ let related_circuits ck b =
           Hashtbl.replace neighbors (Universe.endpoint_lo u j) ();
           Hashtbl.replace neighbors (Universe.endpoint_hi u j) ())
         block.Blocks.circuits;
+      (* A rewire moves its circuits' hi endpoints onto the target
+         switch: circuits incident to it absorb/shed load too.  The
+         target is static in the action payload, so this superset stays
+         valid in every wiring state. *)
+      (match Action.rewire_target block.Blocks.action with
+      | None -> ()
+      | Some h -> Hashtbl.replace neighbors h ());
       let acc = Hashtbl.create 256 in
       Hashtbl.iter
         (fun s () ->
@@ -654,7 +670,7 @@ let funneling_ok_on ck (loads : float array) ~last_block =
     | None -> true
     | Some b ->
         let block = ck.task.Task.blocks.(b) in
-        if block.Blocks.action.Action.op <> Action.Drain then true
+        if not (Action.funnels block.Blocks.action) then true
         else begin
           let theta = ck.task.Task.theta +. 1e-9 in
           let circuits = related_circuits ck b in

@@ -116,9 +116,18 @@ let of_scenario ?(theta = 0.75) ?(alpha = 0.0) ?(funneling = 0.0)
   in
   let rsws_by_dc = sc.Gen.layout.Gen.rsws_by_dc in
   let ebbs = sc.Gen.layout.Gen.ebbs in
+  (* Wiring alternatives: every rewire group's circuits may land on its
+     new endpoint, so routes compile an extra candidate row per target
+     (see Ecmp.compile).  Empty outside the OCS scenarios. *)
+  let alts =
+    List.concat_map
+      (fun (_, circuits, new_hi) -> List.map (fun c -> (c, new_hi)) circuits)
+      sc.Gen.rewire_groups
+  in
   let compiled_raw =
     List.map
-      (fun d -> Routes.compile (Topo.universe sc.Gen.topo) ~rsws_by_dc ~ebbs d)
+      (fun d ->
+        Routes.compile ~alts (Topo.universe sc.Gen.topo) ~rsws_by_dc ~ebbs d)
       demands
   in
   (* Calibrate so the hottest circuit of the original topology runs at
@@ -239,6 +248,9 @@ let scale_demands t factors =
 let total_blocks t = Array.length t.blocks
 
 let block_type t b = Action.Set.index t.actions t.blocks.(b).Blocks.action
+
+let affects_wiring t =
+  Array.exists (fun (b : Blocks.t) -> Action.affects_wiring b.Blocks.action) t.blocks
 
 let pp_summary fmt t =
   Format.fprintf fmt

@@ -136,4 +136,10 @@ val total_blocks : t -> int
 val block_type : t -> int -> int
 (** [block_type t b] is the action-type index of block [b]. *)
 
+val affects_wiring : t -> bool
+(** Whether any block of the task changes circuit wiring (an OCS
+    [Rewire] action type) — the tasks whose plans the residual-capacity
+    and symmetry-projection planners cannot represent, analogous to
+    [adds_layer] for DMAG. *)
+
 val pp_summary : Format.formatter -> t -> unit

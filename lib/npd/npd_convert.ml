@@ -4,11 +4,15 @@ let kind_id = function
   | Gen.Hgrid_v1_to_v2 -> "hgrid-v1-to-v2"
   | Gen.Ssw_forklift -> "ssw-forklift"
   | Gen.Dmag -> "dmag"
+  | Gen.Ocs_rewire -> "ocs-rewire"
+  | Gen.Ocs_swap -> "ocs-swap"
 
 let kind_of_id = function
   | "hgrid-v1-to-v2" -> Ok Gen.Hgrid_v1_to_v2
   | "ssw-forklift" -> Ok Gen.Ssw_forklift
   | "dmag" -> Ok Gen.Dmag
+  | "ocs-rewire" -> Ok Gen.Ocs_rewire
+  | "ocs-swap" -> Ok Gen.Ocs_swap
   | other -> Error (Printf.sprintf "unknown migration kind %S" other)
 
 let fi k v = Field (k, Int v)

@@ -24,4 +24,8 @@ val load_scenario : string -> (Gen.scenario, string) result
 
 val kind_id : Gen.kind -> string
 (** Stable identifier used in the [migration] section:
-    ["hgrid-v1-to-v2"], ["ssw-forklift"], ["dmag"]. *)
+    ["hgrid-v1-to-v2"], ["ssw-forklift"], ["dmag"], ["ocs-rewire"],
+    ["ocs-swap"]. *)
+
+val kind_of_id : string -> (Gen.kind, string) result
+(** Inverse of {!kind_id}; [Error] names the unknown identifier. *)

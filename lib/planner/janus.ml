@@ -30,6 +30,15 @@ let plan ?(config = Planner.default_config) (task : Task.t) =
            introducing a new layer (DMAG) breaks it";
       stats = zero_stats;
     }
+  else if Task.affects_wiring task then
+    {
+      Planner.planner = name;
+      outcome =
+        Planner.Unsupported
+          "Janus assumes the symmetry structure survives the migration; \
+           rewiring circuits (OCS) changes it mid-flight";
+      stats = zero_stats;
+    }
   else begin
     let budget =
       match config.Planner.budget_seconds with

@@ -26,6 +26,17 @@ let plan ?(config = Planner.default_config) (task : Task.t) =
         { expanded = 0; generated = 0; sat_checks = 0; cache_hits = 0;
           check_seconds = 0.0; elapsed = 0.0 };
     }
+  else if Task.affects_wiring task then
+    {
+      Planner.planner = name;
+      outcome =
+        Planner.Unsupported
+          "migration rewires circuits; residual capacity after a wiring \
+           change is not a drain-order objective";
+      stats =
+        { expanded = 0; generated = 0; sat_checks = 0; cache_hits = 0;
+          check_seconds = 0.0; elapsed = 0.0 };
+    }
   else begin
     let budget =
       match config.Planner.budget_seconds with

@@ -162,6 +162,11 @@ let check_scopes (sc : Gen.scenario) acc =
     match sc.Gen.kind with
     | Gen.Hgrid_v1_to_v2 | Gen.Ssw_forklift -> drains = [] || undrains = []
     | Gen.Dmag -> undrains = [] || sc.Gen.drain_circuit_groups = []
+    | Gen.Ocs_rewire -> drains = [] || sc.Gen.rewire_groups = []
+    | Gen.Ocs_swap ->
+        drains = []
+        || sc.Gen.drain_circuit_groups = []
+        || sc.Gen.undrain_circuit_groups = []
   in
   if empty then
     {
@@ -180,6 +185,14 @@ let target_state (sc : Gen.scenario) =
     (fun (_, circuits) ->
       List.iter (fun j -> Topo.set_circuit_active topo j false) circuits)
     sc.Gen.drain_circuit_groups;
+  List.iter
+    (fun (_, circuits) ->
+      List.iter (fun j -> Topo.set_circuit_active topo j true) circuits)
+    sc.Gen.undrain_circuit_groups;
+  List.iter
+    (fun (_, circuits, new_hi) ->
+      List.iter (fun j -> Topo.set_circuit_hi topo j (Some new_hi)) circuits)
+    sc.Gen.rewire_groups;
   (* Future circuits whose endpoints are now up come alive with them. *)
   for j = 0 to Topo.n_circuits topo - 1 do
     if

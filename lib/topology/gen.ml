@@ -47,15 +47,18 @@ type layout = {
   ebs : int list;
   drs : int list;
   ebbs : int list;
+  new_ebs : int list;
   fauu_eb_circuits_by_eb : int list array;
 }
 
-type kind = Hgrid_v1_to_v2 | Ssw_forklift | Dmag
+type kind = Hgrid_v1_to_v2 | Ssw_forklift | Dmag | Ocs_rewire | Ocs_swap
 
 let kind_to_string = function
   | Hgrid_v1_to_v2 -> "HGRID V1->V2"
   | Ssw_forklift -> "SSW Forklift"
   | Dmag -> "DMAG"
+  | Ocs_rewire -> "OCS Rewire"
+  | Ocs_swap -> "OCS Swap"
 
 type scenario = {
   name : string;
@@ -65,6 +68,8 @@ type scenario = {
   drain_switches : int list;
   undrain_switches : int list;
   drain_circuit_groups : (string * int list) list;
+  undrain_circuit_groups : (string * int list) list;
+  rewire_groups : (string * int list * int) list;
   adds_layer : bool;
 }
 
@@ -96,7 +101,8 @@ let ssw_max_ports (p : params) ~kind =
          headroom: old and new grids cannot all coexist (Eq. 6 drives the
          interleaving). *)
       down + max p.v1_grids p.v2_grids + p.ssw_port_headroom
-  | Ssw_forklift | Dmag -> down + p.v1_grids + p.v2_grids + 4
+  | Ssw_forklift | Dmag | Ocs_rewire | Ocs_swap ->
+      down + p.v1_grids + p.v2_grids + 4
 
 let fsw_max_ports (p : params) ~kind =
   let base =
@@ -104,7 +110,7 @@ let fsw_max_ports (p : params) ~kind =
   in
   match kind with
   | Ssw_forklift -> base + p.fsw_port_headroom
-  | Hgrid_v1_to_v2 | Dmag -> base + 4
+  | Hgrid_v1_to_v2 | Dmag | Ocs_rewire | Ocs_swap -> base + 4
 
 let fadu_max_ports (p : params) ~kind ~fadu_per_grid ~fauu_per_grid =
   let base = fadu_down_degree p ~fadu_per_grid + fauu_per_grid in
@@ -112,14 +118,21 @@ let fadu_max_ports (p : params) ~kind ~fadu_per_grid ~fauu_per_grid =
   | Ssw_forklift ->
       (* DC 0's stripe arrives twice while old and new SSWs coexist. *)
       base + (fadu_down_degree p ~fadu_per_grid / max 1 p.dcs) + 2
-  | Hgrid_v1_to_v2 | Dmag -> base + 2
+  | Hgrid_v1_to_v2 | Dmag | Ocs_rewire | Ocs_swap -> base + 2
 
-let fauu_max_ports (p : params) ~fadu_per_grid = fadu_per_grid + p.ebs + p.mas + 2
+let fauu_max_ports (p : params) ~kind ~fadu_per_grid =
+  match kind with
+  | Ocs_rewire | Ocs_swap ->
+      (* Zero up-side headroom: the FAUU chassis is full as built, so any
+         plan that lands an extra uplink before removing one violates
+         Eq. 6 — only the degree-preserving OCS rewire is port-neutral. *)
+      fadu_per_grid + p.ebs
+  | Hgrid_v1_to_v2 | Ssw_forklift | Dmag -> fadu_per_grid + p.ebs + p.mas + 2
 
 let eb_max_ports (p : params) ~kind =
   let fauu_total =
     match kind with
-    | Dmag -> p.v1_grids * p.v1_fauu_per_grid
+    | Dmag | Ocs_rewire | Ocs_swap -> p.v1_grids * p.v1_fauu_per_grid
     | Hgrid_v1_to_v2 | Ssw_forklift ->
         (p.v1_grids * p.v1_fauu_per_grid) + (p.v2_grids * p.v2_fauu_per_grid)
   in
@@ -210,10 +223,16 @@ let build kind (p : params) =
         Builder.add_switch b ~name:(Printf.sprintf "eb%d" e) ~role:Switch.EB
           ~index:e ~max_ports:(eb_max_ports p ~kind) ())
   in
+  let dr_ports =
+    (* OCS kinds host two full EB banks from day one. *)
+    match kind with
+    | Ocs_rewire | Ocs_swap -> (2 * p.ebs) + p.ebbs + 4
+    | Hgrid_v1_to_v2 | Ssw_forklift | Dmag -> p.ebs + p.ebbs + 4
+  in
   let dr_ids =
     List.init p.drs (fun d ->
         Builder.add_switch b ~name:(Printf.sprintf "dr%d" d) ~role:Switch.DR
-          ~index:d ~max_ports:(p.ebs + p.ebbs + 4) ())
+          ~index:d ~max_ports:dr_ports ())
   in
   let ebb_ids =
     List.init p.ebbs (fun x ->
@@ -255,7 +274,7 @@ let build kind (p : params) =
             Builder.add_switch b
               ~name:(Printf.sprintf "hgrid-v%d/grid%d/fauu%d" generation g j)
               ~role:Switch.FAUU ~generation ~plane:g ~index:j ~future
-              ~max_ports:(fauu_max_ports p ~fadu_per_grid) ())
+              ~max_ports:(fauu_max_ports p ~kind ~fadu_per_grid) ())
       in
       fadu_by_grid.(g) <- fadus;
       fauu_by_grid.(g) <- fauus;
@@ -307,6 +326,8 @@ let build kind (p : params) =
   let fauu_v2_by_grid = ref (Array.make 0 []) in
   let new_ssws_by_dc_plane = Array.init p.dcs (fun _ -> Array.make p.planes []) in
   let mas = ref [] in
+  let new_ebs = ref [] in
+  let new_uplinks_by_new_eb = ref [] in
 
   (match kind with
   | Hgrid_v1_to_v2 ->
@@ -374,7 +395,41 @@ let build kind (p : params) =
                   (Builder.add_circuit b ~lo:id ~hi:eb ~future:true
                      ~capacity:p.cap_ma_eb ()))
               eb_ids;
-            id));
+            id)
+  | Ocs_rewire | Ocs_swap ->
+      (* A parallel EB bank behind an optical circuit switch: active from
+         day one and fully meshed into the DRs, but with no as-built FAUU
+         uplinks — drain/undrain alone cannot move the HGRID onto it.
+         The swap variant additionally pre-cables future duplicate
+         uplinks, the FastReChain-style recabling plan that the FAUUs'
+         zero port headroom and the utilization bound jointly doom. *)
+      new_ebs :=
+        List.init p.ebs (fun e ->
+            let id =
+              Builder.add_switch b
+                ~name:(Printf.sprintf "eb-new%d" e)
+                ~role:Switch.EB ~generation:2 ~index:e
+                ~max_ports:(eb_max_ports p ~kind) ()
+            in
+            List.iter
+              (fun dr ->
+                ignore
+                  (Builder.add_circuit b ~lo:id ~hi:dr ~capacity:p.cap_eb_dr ()))
+              dr_ids;
+            id);
+      (match kind with
+      | Ocs_swap ->
+          let all_fauus = List.concat (Array.to_list fauu_v1_by_grid) in
+          new_uplinks_by_new_eb :=
+            List.map
+              (fun nid ->
+                List.map
+                  (fun fauu ->
+                    Builder.add_circuit b ~lo:fauu ~hi:nid ~future:true
+                      ~capacity:p.cap_fauu_eb ())
+                  all_fauus)
+              !new_ebs
+      | _ -> ()));
 
   let layout =
     {
@@ -391,11 +446,17 @@ let build kind (p : params) =
       ebs = eb_ids;
       drs = dr_ids;
       ebbs = ebb_ids;
+      new_ebs = !new_ebs;
       fauu_eb_circuits_by_eb = Array.map List.rev fauu_eb_circuits_by_eb;
     }
   in
   let topo = Builder.freeze b in
-  let drain_switches, undrain_switches, drain_circuit_groups, adds_layer =
+  let ( drain_switches,
+        undrain_switches,
+        drain_circuit_groups,
+        undrain_circuit_groups,
+        rewire_groups,
+        adds_layer ) =
     match kind with
     | Hgrid_v1_to_v2 ->
         let old_hgrid =
@@ -408,7 +469,7 @@ let build kind (p : params) =
             (Array.to_list layout.fadu_v2_by_grid
             @ Array.to_list layout.fauu_v2_by_grid)
         in
-        (old_hgrid, new_hgrid, [], false)
+        (old_hgrid, new_hgrid, [], [], [], false)
     | Ssw_forklift ->
         let old_ssws =
           List.concat (Array.to_list layout.ssws_by_dc_plane.(0))
@@ -416,14 +477,43 @@ let build kind (p : params) =
         let new_ssws =
           List.concat (Array.to_list layout.new_ssws_by_dc_plane.(0))
         in
-        (old_ssws, new_ssws, [], false)
+        (old_ssws, new_ssws, [], [], [], false)
     | Dmag ->
         let groups =
           List.mapi
             (fun e circuits -> (Printf.sprintf "eb%d-uplinks" e, circuits))
             (Array.to_list layout.fauu_eb_circuits_by_eb)
         in
-        ([], layout.mas, groups, true)
+        ([], layout.mas, groups, [], [], true)
+    | Ocs_rewire ->
+        (* Flip every old EB's uplink bundle onto its new-bank twin, then
+           retire the old chassis. *)
+        let groups =
+          List.mapi
+            (fun e nid ->
+              ( Printf.sprintf "eb%d-uplinks" e,
+                layout.fauu_eb_circuits_by_eb.(e),
+                nid ))
+            layout.new_ebs
+        in
+        (layout.ebs, [], [], [], groups, false)
+    | Ocs_swap ->
+        (* The same migration expressed with drains and undrains only:
+           retire each old uplink bundle and onboard its pre-cabled
+           duplicate.  At block granularity no ordering survives — see
+           the OCS notes above. *)
+        let old_groups =
+          List.mapi
+            (fun e circuits -> (Printf.sprintf "eb%d-uplinks" e, circuits))
+            (Array.to_list layout.fauu_eb_circuits_by_eb)
+        in
+        let new_groups =
+          List.mapi
+            (fun e circuits ->
+              (Printf.sprintf "eb-new%d-uplinks" e, circuits))
+            !new_uplinks_by_new_eb
+        in
+        (layout.ebs, [], old_groups, new_groups, [], false)
   in
   {
     name = Printf.sprintf "%s/%s" p.label (kind_to_string kind);
@@ -433,6 +523,8 @@ let build kind (p : params) =
     drain_switches;
     undrain_switches;
     drain_circuit_groups;
+    undrain_circuit_groups;
+    rewire_groups;
     adds_layer;
   }
 
@@ -498,6 +590,28 @@ let tune_hgrid_caps (p : params) =
       (if p.mas = 0 then p.cap_fauu_ma
        else per 1.5 (int_of_float v1_fauus * p.mas));
     cap_ma_eb = (if p.mas = 0 then p.cap_ma_eb else per 1.5 (p.mas * p.ebs));
+  }
+
+(* OCS calibration: start from the HGRID tuning, then make the FAUU-EB
+   uplinks the tightest layer of the region by a wide margin.  Demand
+   calibration pins the hottest circuit — now an uplink — near the
+   utilization target, so wholesale loss of either EB bank (which is
+   what any drain-first or undrain-first ordering does at block
+   granularity, with only two banks) doubles it past the safety
+   threshold, while the degree- and load-preserving OCS rewire leaves
+   it untouched.  The stripe gets matching slack so it never outbids
+   the uplinks at calibration time. *)
+let tune_ocs_caps (p : params) =
+  let p = tune_hgrid_caps p in
+  let rsw_aggregate_per_dc =
+    float_of_int (p.pods * p.rsws_per_pod * 4 * p.link_mult) *. p.cap_rsw_fsw
+  in
+  let region = rsw_aggregate_per_dc *. float_of_int p.dcs in
+  let v1_fauus = p.v1_grids * p.v1_fauu_per_grid in
+  {
+    p with
+    cap_ssw_fadu_v1 = p.cap_ssw_fadu_v1 *. 2.5;
+    cap_fauu_eb = 0.25 *. region /. float_of_int (v1_fauus * p.ebs);
   }
 
 let base_params label =
@@ -693,6 +807,38 @@ let params_f_lite () =
     fsw_port_headroom = 12;
   }
 
+(* OCS: a B-sized fabric with a v1-only HGRID and two EB banks — the
+   bench tier for the topology-changing action alphabet. *)
+let params_ocs () =
+  tune_ocs_caps
+    {
+      (base_params "OCS") with
+      dcs = 2;
+      pods = 4;
+      rsws_per_pod = 4;
+      ssws_per_plane = 5;
+      v1_grids = 4;
+      v1_fadu_per_grid = 4;
+      v1_fauu_per_grid = 2;
+      v2_grids = 0;
+      ebs = 2;
+      drs = 2;
+      ebbs = 2;
+    }
+
+(* OCS-LITE: the same shape at A's scale — the CI smoke tier. *)
+let params_ocs_lite () =
+  tune_ocs_caps
+    {
+      (base_params "OCS-LITE") with
+      dcs = 2;
+      rsws_per_pod = 2;
+      v1_grids = 2;
+      v1_fadu_per_grid = 4;
+      v1_fauu_per_grid = 2;
+      v2_grids = 0;
+    }
+
 let scenario_of_label = function
   | "A" -> build Hgrid_v1_to_v2 (params_a ())
   | "B" -> build Hgrid_v1_to_v2 (params_b ())
@@ -704,6 +850,10 @@ let scenario_of_label = function
   | "F" -> build Hgrid_v1_to_v2 (params_f ())
   | "F-SSW" -> build Ssw_forklift (params_f ())
   | "F-LITE" -> build Hgrid_v1_to_v2 (params_f_lite ())
+  | "OCS" -> build Ocs_rewire (params_ocs ())
+  | "OCS-SWAP" -> build Ocs_swap (params_ocs ())
+  | "OCS-LITE" -> build Ocs_rewire (params_ocs_lite ())
+  | "OCS-SWAP-LITE" -> build Ocs_swap (params_ocs_lite ())
   | label -> invalid_arg (Printf.sprintf "Gen.scenario_of_label: unknown %S" label)
 
 (* The paper's tiers only: F/F-SSW/F-LITE stay out so the tolerance
@@ -742,6 +892,12 @@ let stats sc =
           (fun j -> total := !total +. Topo.capacity t j)
           circuits)
       sc.drain_circuit_groups;
+    List.iter
+      (fun (_, circuits, _) ->
+        List.iter
+          (fun j -> total := !total +. Topo.capacity t j)
+          circuits)
+      sc.rewire_groups;
     !total
   in
   {
@@ -750,6 +906,8 @@ let stats sc =
     actions =
       List.length sc.drain_switches
       + List.length sc.undrain_switches
-      + List.length sc.drain_circuit_groups;
+      + List.length sc.drain_circuit_groups
+      + List.length sc.undrain_circuit_groups
+      + List.length sc.rewire_groups;
     capacity_touched = drained_capacity;
   }

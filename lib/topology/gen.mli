@@ -72,11 +72,14 @@ type layout = {
   ebs : int list;
   drs : int list;
   ebbs : int list;
+  new_ebs : int list;
+      (** The OCS scenarios' second EB bank; empty for other kinds. *)
   fauu_eb_circuits_by_eb : int list array;
-      (** The circuits the DMAG migration drains, grouped per EB. *)
+      (** The FAUU uplink circuits grouped per (old) EB — drained by DMAG,
+          rewired by the OCS scenarios. *)
 }
 
-type kind = Hgrid_v1_to_v2 | Ssw_forklift | Dmag
+type kind = Hgrid_v1_to_v2 | Ssw_forklift | Dmag | Ocs_rewire | Ocs_swap
 
 val kind_to_string : kind -> string
 
@@ -88,7 +91,15 @@ type scenario = {
   drain_switches : int list;  (** Old switches to remove. *)
   undrain_switches : int list;  (** Future switches to onboard. *)
   drain_circuit_groups : (string * int list) list;
-      (** Standalone circuit drains (DMAG), grouped as operated together. *)
+      (** Standalone circuit drains (DMAG, OCS swap), grouped as operated
+          together. *)
+  undrain_circuit_groups : (string * int list) list;
+      (** Standalone circuit onboards (the OCS swap's pre-cabled duplicate
+          uplinks); empty for other kinds. *)
+  rewire_groups : (string * int list * int) list;
+      (** [(label, circuits, new_hi)]: uplink bundles the OCS rewire
+          retargets onto the new EB bank, one group per old EB.  Empty for
+          other kinds. *)
   adds_layer : bool;
       (** [true] when the migration introduces a layer absent from the
           original topology — the case Janus and MRC cannot plan (§6.3). *)
@@ -117,10 +128,21 @@ val params_f_lite : unit -> params
 (** E's fabric (~11k switches) under F's shallow lattice: the CI smoke
     tier for the `scale` bench. *)
 
+val params_ocs : unit -> params
+(** The OCS tier: a B-sized fabric, a v1-only HGRID and two EB banks,
+    with the FAUU-EB uplinks tuned to be the calibrated hotspot and the
+    FAUUs given zero port headroom — the regime where only the
+    topology-changing [Rewire] action can complete the migration. *)
+
+val params_ocs_lite : unit -> params
+(** The OCS shape at A's scale: the CI smoke tier for the `ocs` bench. *)
+
 val scenario_of_label : string -> scenario
 (** ["A"]–["E"] run HGRID V1→V2; ["E-SSW"] and ["E-DMAG"] the other two
     migration types on topology E; ["F"], ["F-SSW"] and ["F-LITE"] the
-    beyond-paper scale tiers (not part of {!all_labels}).  Raises
+    beyond-paper scale tiers; ["OCS"]/["OCS-LITE"] the OCS rewire
+    scenarios and ["OCS-SWAP"]/["OCS-SWAP-LITE"] their drain/undrain-only
+    counterparts (none part of {!all_labels}).  Raises
     [Invalid_argument] on unknown labels. *)
 
 val all_labels : string list
@@ -133,8 +155,9 @@ type stats = {
   orig_switches : int;  (** Active switches in the original topology. *)
   orig_circuits : int;  (** Active circuits in the original topology. *)
   actions : int;
-      (** Switch-level operations: drains + onboards (+ one per drained
-          circuit group), the "Actions" column of Table 3. *)
+      (** Switch-level operations: drains + onboards (+ one per drained,
+          onboarded or rewired circuit group), the "Actions" column of
+          Table 3. *)
   capacity_touched : float;  (** Tbps of capacity drained, Table 1. *)
 }
 

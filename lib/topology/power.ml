@@ -102,3 +102,13 @@ let hall_model ?(v1_draw = 1.0) ?(v2_draw = 0.8) (sc : Gen.scenario) ~headroom =
       make ~n_switches:n
         ~domains:[ ("ma-room", cap) ]
         ~assign:(List.map (fun s -> (s, 0, 1.0)) mas)
+  | Gen.Ocs_rewire | Gen.Ocs_swap ->
+      (* Both EB banks are powered from day one — the OCS scenarios stress
+         wiring and utilization, not power, so the room fits both. *)
+      let old_draw = v1_draw *. float_of_int (List.length l.Gen.ebs) in
+      let new_draw = v2_draw *. float_of_int (List.length l.Gen.new_ebs) in
+      make ~n_switches:n
+        ~domains:[ ("eb-room", (old_draw +. new_draw) *. (1.0 +. headroom)) ]
+        ~assign:
+          (List.map (fun s -> (s, 0, v1_draw)) l.Gen.ebs
+          @ List.map (fun s -> (s, 0, v2_draw)) l.Gen.new_ebs)

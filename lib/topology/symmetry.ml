@@ -23,11 +23,20 @@ let signature u s =
   let sorted = List.sort neighbor_compare !neighbors in
   (sw.Switch.role, sw.Switch.generation, sorted)
 
-let blocks u ~scope =
+let blocks ?(pinned = []) u ~scope =
+  (* Pinned switches are endpoints of a wiring change (OCS rewiring): two
+     states that differ in where a circuit lands are not interchangeable
+     even when the as-built signatures agree, so each pinned switch gets
+     a singleton block.  Salting the key with the switch's own id keeps
+     one code path and leaves everything else merged as before. *)
+  let pinned_set = Hashtbl.create (List.length pinned * 2 + 1) in
+  List.iter (fun s -> Hashtbl.replace pinned_set s ()) pinned;
   let table = Hashtbl.create 64 in
   List.iter
     (fun s ->
-      let key = signature u s in
+      let role, generation, neighbors = signature u s in
+      let salt = if Hashtbl.mem pinned_set s then s else -1 in
+      let key = (role, generation, salt, neighbors) in
       let previous =
         match Hashtbl.find_opt table key with Some l -> l | None -> []
       in
@@ -35,7 +44,7 @@ let blocks u ~scope =
     scope;
   let result =
     Hashtbl.fold
-      (fun (role, generation, _) members acc ->
+      (fun (role, generation, _, _) members acc ->
         { members = List.sort Int.compare members; role; generation } :: acc)
       table []
   in

@@ -18,13 +18,19 @@ type block = {
   generation : int;  (** Common hardware generation. *)
 }
 
-val blocks : Universe.t -> scope:int list -> block list
+val blocks : ?pinned:int list -> Universe.t -> scope:int list -> block list
 (** [blocks u ~scope] partitions the switches of [scope] into symmetry
     blocks.  Connectivity is judged on the whole universe (active and
     future circuits alike), because switches to be operated are compared by
     where they are or will be wired — which is why this takes the static
     {!Universe.t} and not an activity overlay.  Blocks come out sorted by
-    their smallest member. *)
+    their smallest member.
+
+    [?pinned] lists switches that take part in a wiring change (the
+    endpoints, old and new, of OCS rewire groups): each becomes a
+    singleton block, because states that differ in where a circuit lands
+    must never be merged as symmetric even when as-built signatures
+    coincide. *)
 
 val max_block_size : block list -> int
 (** Size of the largest block; 0 for an empty list. *)

@@ -4,7 +4,13 @@ module Bitset = Kutil.Bitset
    plus the incrementally maintained usable set, usable degrees and
    port-violation counter.  Copying an overlay copies only these words —
    the universe is shared physically, which is what lets every worker
-   domain of the satisfiability engine hold its own overlay cheaply. *)
+   domain of the satisfiability engine hold its own overlay cheaply.
+
+   OCS rewiring lives here too: [rewired]/[remap] record the sparse set
+   of circuits whose [hi] endpoint currently differs from the as-built
+   universe wiring.  The remap holds only non-identity entries, so on
+   drain/undrain-only tasks both stay empty and every wiring query is a
+   single bitset probe. *)
 type t = {
   u : Universe.t;
   switch_active : Bitset.t;
@@ -13,6 +19,8 @@ type t = {
   usable_deg : int array;
   mutable usable_count : int;
   mutable port_violations : int;
+  rewired : Bitset.t;  (* circuits whose hi endpoint is remapped *)
+  remap : (int, int) Hashtbl.t;  (* circuit id -> current hi endpoint *)
 }
 
 let of_universe u =
@@ -27,6 +35,8 @@ let of_universe u =
     usable_deg = Universe.full_degrees u;
     usable_count = m;
     port_violations = Universe.full_port_violations u;
+    rewired = Bitset.create m;
+    remap = Hashtbl.create 8;
   }
 
 let create ~switches ~circuits = of_universe (Universe.create ~switches ~circuits)
@@ -40,6 +50,8 @@ let copy t =
     circuit_active = Bitset.copy t.circuit_active;
     usable_set = Bitset.copy t.usable_set;
     usable_deg = Array.copy t.usable_deg;
+    rewired = Bitset.copy t.rewired;
+    remap = Hashtbl.copy t.remap;
   }
 
 (* A snapshot is a frozen overlay: same shape, no universe of its own. *)
@@ -50,6 +62,8 @@ type snapshot = {
   s_usable_deg : int array;
   s_usable_count : int;
   s_port_violations : int;
+  s_rewired : Bitset.t;
+  s_remap : (int, int) Hashtbl.t;
 }
 
 let snapshot t =
@@ -60,6 +74,8 @@ let snapshot t =
     s_usable_deg = Array.copy t.usable_deg;
     s_usable_count = t.usable_count;
     s_port_violations = t.port_violations;
+    s_rewired = Bitset.copy t.rewired;
+    s_remap = Hashtbl.copy t.remap;
   }
 
 let restore t snap =
@@ -68,7 +84,15 @@ let restore t snap =
   Bitset.blit ~src:snap.s_usable_set ~dst:t.usable_set;
   Array.blit snap.s_usable_deg 0 t.usable_deg 0 (Array.length t.usable_deg);
   t.usable_count <- snap.s_usable_count;
-  t.port_violations <- snap.s_port_violations
+  t.port_violations <- snap.s_port_violations;
+  (* Like the bitset blits, restoring wiring drops every remap added
+     after the snapshot and resurrects every one removed since.  The
+     table is rebuilt in bitset (circuit-id) order — deterministic. *)
+  Bitset.blit ~src:snap.s_rewired ~dst:t.rewired;
+  Hashtbl.reset t.remap;
+  Bitset.iter
+    (fun j -> Hashtbl.replace t.remap j (Hashtbl.find snap.s_remap j))
+    snap.s_rewired
 
 let n_switches t = Universe.n_switches t.u
 let n_circuits t = Universe.n_circuits t.u
@@ -80,11 +104,25 @@ let up_circuits t s = Universe.up_circuits t.u s
 let down_circuits t s = Universe.down_circuits t.u s
 let find_switch t name = Universe.find_switch t.u name
 
-(* Flat hot-path pass-throughs: no record views, no array allocation. *)
+(* Flat hot-path pass-throughs: no record views, no array allocation.
+   [endpoint_hi]/[other_endpoint] report the *current* wiring — the
+   remap when the circuit is rewired, the universe otherwise — so every
+   overlay consumer (usability, ports, maxflow, reachability) sees moved
+   endpoints without knowing about the remap. *)
 let capacity t j = Universe.capacity t.u j
 let endpoint_lo t j = Universe.endpoint_lo t.u j
-let endpoint_hi t j = Universe.endpoint_hi t.u j
-let other_endpoint t j s = Universe.other_endpoint t.u j s
+
+let endpoint_hi t j =
+  if Bitset.mem t.rewired j then Hashtbl.find t.remap j
+  else Universe.endpoint_hi t.u j
+
+let other_endpoint t j s =
+  let lo = Universe.endpoint_lo t.u j in
+  let hi = endpoint_hi t j in
+  if s = lo then hi
+  else if s = hi then lo
+  else invalid_arg "Topo.other_endpoint: switch is not an endpoint"
+
 let max_ports t i = Universe.max_ports t.u i
 let up_degree t s = Universe.up_degree t.u s
 let down_degree t s = Universe.down_degree t.u s
@@ -96,6 +134,20 @@ let switch_active t i = Bitset.mem t.switch_active i
 let circuit_active t j = Bitset.mem t.circuit_active j
 
 let usable t j = Bitset.mem t.usable_set j
+
+let circuit_rewired t j = Bitset.mem t.rewired j
+let rewired_count t = Bitset.cardinal t.rewired
+
+(* Does circuit [j]'s current wiring match the [alt] a routing candidate
+   was compiled for?  [alt = -1] means the as-built wiring.  On tasks
+   without rewires the bitset is empty, so the as-built probe is one
+   word read and the predicate is constantly [true] for base
+   candidates — drain/undrain-only behaviour is bit-identical. *)
+let wiring_matches t j alt =
+  if alt < 0 then not (Bitset.mem t.rewired j)
+  else Bitset.mem t.rewired j && Hashtbl.find t.remap j = alt
+
+let usable_wired t j alt = Bitset.mem t.usable_set j && wiring_matches t j alt
 
 (* Adjust the usable degree of [s] by [delta], keeping the violation count
    in sync with the switch's port limit crossing. *)
@@ -109,18 +161,21 @@ let bump_degree t s delta =
   else if before > limit && after <= limit then
     t.port_violations <- t.port_violations - 1
 
+(* Port accounting follows the wire: the hi-side bump lands on the
+   *current* endpoint, so a rewired circuit consumes a port on its new
+   switch and frees one on the as-built switch (Eq. 6 moves with it). *)
 let mark_usable t j present =
   let delta = if present then 1 else -1 in
   t.usable_count <- t.usable_count + delta;
   Bitset.set t.usable_set j present;
   bump_degree t (Universe.endpoint_lo t.u j) delta;
-  bump_degree t (Universe.endpoint_hi t.u j) delta
+  bump_degree t (endpoint_hi t j) delta
 
 let set_circuit_active t j active =
   if Bitset.mem t.circuit_active j <> active then begin
     let endpoints_up =
       Bitset.mem t.switch_active (Universe.endpoint_lo t.u j)
-      && Bitset.mem t.switch_active (Universe.endpoint_hi t.u j)
+      && Bitset.mem t.switch_active (endpoint_hi t j)
     in
     Bitset.set t.circuit_active j active;
     if endpoints_up then mark_usable t j active
@@ -128,16 +183,55 @@ let set_circuit_active t j active =
 
 let set_switch_active t i active =
   if Bitset.mem t.switch_active i <> active then begin
-    (* A circuit's usability flips with this toggle iff the circuit flag and
-       the *other* endpoint are already up. *)
+    (* A circuit's usability flips with this toggle iff the circuit flag,
+       the *other* current endpoint, and [i]'s membership in the current
+       wiring all hold.  Universe adjacency lists the as-built incidence,
+       so (a) skip circuits whose hi has been rewired away from [i], and
+       (b) additionally visit the (sparse, id-ordered) rewired circuits
+       that currently land on [i] — those are never in [i]'s as-built
+       lists because the remap holds only non-identity entries. *)
     let affect j =
       if Bitset.mem t.circuit_active j then begin
-        let other = Universe.other_endpoint t.u j i in
-        if Bitset.mem t.switch_active other then mark_usable t j active
+        let lo = Universe.endpoint_lo t.u j in
+        let hi = endpoint_hi t j in
+        if lo = i || hi = i then begin
+          let other = if lo = i then hi else lo in
+          if Bitset.mem t.switch_active other then mark_usable t j active
+        end
       end
     in
     Bitset.set t.switch_active i active;
-    Universe.iter_incident t.u i ~f:affect
+    Universe.iter_incident t.u i ~f:affect;
+    Bitset.iter
+      (fun j -> if Hashtbl.find t.remap j = i then affect j)
+      t.rewired
+  end
+
+(* Retarget circuit [j]'s hi endpoint: [Some h] rewires it to [h],
+   [None] restores the as-built wiring.  The usable bookkeeping is
+   un-marked under the old wiring and re-marked under the new one, so
+   degrees, port violations and the usable set move atomically with the
+   wire — the OCS flip has no transient. *)
+let set_circuit_hi t j target =
+  let as_built = Universe.endpoint_hi t.u j in
+  let new_hi = match target with Some h -> h | None -> as_built in
+  if endpoint_hi t j <> new_hi then begin
+    let was_usable = Bitset.mem t.usable_set j in
+    if was_usable then mark_usable t j false;
+    if new_hi = as_built then begin
+      Bitset.remove t.rewired j;
+      Hashtbl.remove t.remap j
+    end
+    else begin
+      Bitset.add t.rewired j;
+      Hashtbl.replace t.remap j new_hi
+    end;
+    let now_usable =
+      Bitset.mem t.circuit_active j
+      && Bitset.mem t.switch_active (Universe.endpoint_lo t.u j)
+      && Bitset.mem t.switch_active new_hi
+    in
+    if now_usable then mark_usable t j true
   end
 
 let active_switch_count t = Bitset.cardinal t.switch_active
@@ -172,10 +266,20 @@ let reachable t ~from =
   List.iter enqueue from;
   while not (Queue.is_empty queue) do
     let s = Queue.pop queue in
+    (* Traverse the *current* wiring: skip as-built circuits rewired
+       away from [s], and also cross the rewired circuits landing on
+       [s], which [s]'s as-built adjacency does not list. *)
     let visit j =
-      if usable t j then enqueue (Universe.other_endpoint t.u j s)
+      if usable t j then begin
+        let lo = Universe.endpoint_lo t.u j in
+        let hi = endpoint_hi t j in
+        if lo = s then enqueue hi else if hi = s then enqueue lo
+      end
     in
-    Universe.iter_incident t.u s ~f:visit
+    Universe.iter_incident t.u s ~f:visit;
+    Bitset.iter
+      (fun j -> if Hashtbl.find t.remap j = s then visit j)
+      t.rewired
   done;
   seen
 

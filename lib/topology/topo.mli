@@ -18,7 +18,17 @@
     physically, so per-worker checkers cost O(overlay), not O(topology).
     The overlay maintains, incrementally under toggles, the usable degree
     of every switch and the number of port-constraint violations, so the
-    port check of Eq. 6 is O(1) per state. *)
+    port check of Eq. 6 is O(1) per state.
+
+    {b Wiring ownership.}  The overlay also owns the {e endpoint remap}:
+    a sparse table of circuits whose higher-rank endpoint has been
+    retargeted by an OCS {!set_circuit_hi} (the [Rewire] action).  The
+    universe always reports the as-built wiring; {!endpoint_hi},
+    {!other_endpoint}, usability, port accounting and reachability on
+    the overlay all report the {e current} wiring.  The remap holds only
+    non-identity entries, so it copies, snapshots and restores in
+    O(overlay) like the activity bitsets, and costs one bitset probe per
+    query on tasks that never rewire. *)
 
 type t
 
@@ -50,8 +60,10 @@ val snapshot : t -> snapshot
 
 val restore : t -> snapshot -> unit
 (** Rewind [t] to a previously captured snapshot.  The snapshot must come
-    from an overlay of the same universe shape.  Raises
-    [Invalid_argument] on a capacity mismatch. *)
+    from an overlay of the same universe shape.  Restoring also rewinds
+    the endpoint remap: rewires applied after the snapshot are dropped
+    and rewires undone since are reinstated, mirroring the bitset blits.
+    Raises [Invalid_argument] on a capacity mismatch. *)
 
 (** {1 Static structure}
 
@@ -97,10 +109,13 @@ val endpoint_lo : t -> int -> int
 (** [endpoint_lo t j] is the lower-{!Switch.rank} endpoint of [j]. *)
 
 val endpoint_hi : t -> int -> int
-(** [endpoint_hi t j] is the higher-rank endpoint of [j]. *)
+(** [endpoint_hi t j] is the higher-rank endpoint of [j] under the
+    {e current} wiring: the remap target when [j] is rewired, the
+    as-built universe endpoint otherwise. *)
 
 val other_endpoint : t -> int -> int -> int
-(** [other_endpoint t j s] is the endpoint of [j] opposite [s]. *)
+(** [other_endpoint t j s] is the current endpoint of [j] opposite [s].
+    Raises [Invalid_argument] if [s] is not a current endpoint. *)
 
 val max_ports : t -> int -> int
 (** [max_ports t i] is switch [i]'s port budget. *)
@@ -135,6 +150,33 @@ val set_switch_active : t -> int -> bool -> unit
 
 val set_circuit_active : t -> int -> bool -> unit
 (** Toggle a circuit.  Idempotent. *)
+
+(** {1 Wiring (OCS rewiring)} *)
+
+val set_circuit_hi : t -> int -> int option -> unit
+(** [set_circuit_hi t j (Some h)] atomically retargets circuit [j]'s hi
+    endpoint to switch [h] (an OCS flip); [set_circuit_hi t j None]
+    restores the as-built wiring.  Usable degrees, the port-violation
+    count and the usable set move with the wire in O(1).  [h] should
+    share the as-built endpoint's role so the circuit's rank pair stays
+    meaningful.  Idempotent. *)
+
+val circuit_rewired : t -> int -> bool
+(** Whether circuit [j]'s current hi endpoint differs from the
+    as-built wiring. *)
+
+val rewired_count : t -> int
+(** Number of currently rewired circuits. *)
+
+val wiring_matches : t -> int -> int -> bool
+(** [wiring_matches t j alt] is whether [j]'s current wiring matches a
+    routing candidate compiled for alternative endpoint [alt]:
+    [alt = -1] means the as-built wiring, any other value the rewired
+    endpoint [alt].  One bitset probe on never-rewired circuits. *)
+
+val usable_wired : t -> int -> int -> bool
+(** [usable_wired t j alt] is [usable t j && wiring_matches t j alt] —
+    the ECMP hot-path predicate. *)
 
 val active_switch_count : t -> int
 val active_circuit_count : t -> int

@@ -9,9 +9,15 @@ type hop = {
 let hop ?(skip = fun _ -> false) dir accept = { dir; accept; skip }
 
 (* Candidate circuits for one stage, with their traversal endpoints
-   flattened into parallel arrays so the hot loops touch no records. *)
+   flattened into parallel arrays so the hot loops touch no records.
+   A circuit that can be rewired (OCS) compiles into several rows — one
+   per wiring it may take; [alt_hi.(i)] records which wiring row [i]
+   stands for (-1 = as-built), and evaluation admits a row only when the
+   overlay's current wiring matches ([Topo.usable_wired]), so exactly
+   one row per circuit is ever live. *)
 type cstage = {
   circuits : int array;
+  alt_hi : int array;  (* -1 = as-built; else the rewired hi endpoint *)
   prevs : int array;  (* upstream endpoint of circuits.(i) at this stage *)
   nexts : int array;  (* downstream endpoint *)
   skip_switches : int array;
@@ -23,8 +29,16 @@ type compiled = {
   volume : float;
 }
 
-let compile u ~sources ~hops =
+let compile ?(alts = []) u ~sources ~hops =
   let n = Universe.n_switches u in
+  let alt_tbl = Hashtbl.create ((2 * List.length alts) + 1) in
+  List.iter
+    (fun (j, h) ->
+      let prev =
+        match Hashtbl.find_opt alt_tbl j with Some l -> l | None -> []
+      in
+      if not (List.mem h prev) then Hashtbl.replace alt_tbl j (h :: prev))
+    alts;
   let potential = Bitset.create n in
   List.iter (fun (s, v) -> if v > 0.0 then Bitset.add potential s) sources;
   let compile_hop h =
@@ -36,13 +50,22 @@ let compile u ~sources ~hops =
        the universe. *)
     for j = 0 to Universe.n_circuits u - 1 do
       let lo = Universe.endpoint_lo u j and hi = Universe.endpoint_hi u j in
-      let prev, next =
-        match h.dir with `Up -> (lo, hi) | `Down -> (hi, lo)
+      let consider ~alt hi_sw =
+        let prev, next =
+          match h.dir with `Up -> (lo, hi_sw) | `Down -> (hi_sw, lo)
+        in
+        if Bitset.mem potential prev && h.accept (Universe.switch u next)
+        then begin
+          candidates := (j, alt, prev, next) :: !candidates;
+          Bitset.add next_potential next
+        end
       in
-      if Bitset.mem potential prev && h.accept (Universe.switch u next) then begin
-        candidates := (j, prev, next) :: !candidates;
-        Bitset.add next_potential next
-      end
+      consider ~alt:(-1) hi;
+      match Hashtbl.find_opt alt_tbl j with
+      | None -> ()
+      | Some alt_his ->
+          (* Reversed at insertion: emit rows in the alts-list order. *)
+          List.iter (fun ah -> consider ~alt:ah ah) (List.rev alt_his)
     done;
     Bitset.iter
       (fun s ->
@@ -51,12 +74,13 @@ let compile u ~sources ~hops =
           Bitset.add next_potential s
         end)
       potential;
-    let triples = Array.of_list (List.rev !candidates) in
+    let quads = Array.of_list (List.rev !candidates) in
     let stage =
       {
-        circuits = Array.map (fun (j, _, _) -> j) triples;
-        prevs = Array.map (fun (_, p, _) -> p) triples;
-        nexts = Array.map (fun (_, _, n) -> n) triples;
+        circuits = Array.map (fun (j, _, _, _) -> j) quads;
+        alt_hi = Array.map (fun (_, a, _, _) -> a) quads;
+        prevs = Array.map (fun (_, _, p, _) -> p) quads;
+        nexts = Array.map (fun (_, _, _, n) -> n) quads;
         skip_switches = Array.of_list (List.rev !skips);
       }
     in
@@ -171,7 +195,9 @@ let useful_sweep topo c dst =
     let u = dst.(k) and u' = dst.(k + 1) in
     Bitset.clear u;
     for i = 0 to Array.length stage.circuits - 1 do
-      if Topo.usable topo stage.circuits.(i) && Bitset.mem u' stage.nexts.(i)
+      if
+        Topo.usable_wired topo stage.circuits.(i) stage.alt_hi.(i)
+        && Bitset.mem u' stage.nexts.(i)
       then Bitset.add u stage.prevs.(i)
     done;
     Array.iter (fun s -> if Bitset.mem u' s then Bitset.add u s) stage.skip_switches
@@ -208,7 +234,7 @@ let evaluate ?(scale = 1.0) ?(split = `Equal) ?(aux = [||]) topo sc c ~loads =
       if
         sc.vol.(prev) > 0.0
         && sc.cand.(prev) >= 0
-        && Topo.usable topo stage.circuits.(i)
+        && Topo.usable_wired topo stage.circuits.(i) stage.alt_hi.(i)
         && Bitset.mem u' stage.nexts.(i)
       then begin
         sc.cand.(prev) <- sc.cand.(prev) + 1;
@@ -227,7 +253,7 @@ let evaluate ?(scale = 1.0) ?(split = `Equal) ?(aux = [||]) topo sc c ~loads =
       if
         v > 0.0
         && sc.cand.(prev) > 0
-        && Topo.usable topo stage.circuits.(i)
+        && Topo.usable_wired topo stage.circuits.(i) stage.alt_hi.(i)
         && Bitset.mem u' stage.nexts.(i)
       then begin
         let next = stage.nexts.(i) in
@@ -370,7 +396,7 @@ let forward_record ~weighted ~from_ ~aux topo sc st ~loads ~mark =
       if
         sc.vol.(prev) > 0.0
         && sc.cand.(prev) >= 0
-        && Topo.usable topo stage.circuits.(i)
+        && Topo.usable_wired topo stage.circuits.(i) stage.alt_hi.(i)
         && Bitset.mem u' stage.nexts.(i)
       then begin
         sc.cand.(prev) <- sc.cand.(prev) + 1;
@@ -386,7 +412,7 @@ let forward_record ~weighted ~from_ ~aux topo sc st ~loads ~mark =
       if
         v > 0.0
         && sc.cand.(prev) > 0
-        && Topo.usable topo stage.circuits.(i)
+        && Topo.usable_wired topo stage.circuits.(i) stage.alt_hi.(i)
         && Bitset.mem u' stage.nexts.(i)
       then begin
         let next = stage.nexts.(i) in
@@ -482,7 +508,9 @@ let evaluate_patch ?(scale = 1.0) ?(split = `Equal) ?(aux = [||]) topo sc st
      let u = sc.useful.(!k) and u' = sc.useful.(!k + 1) in
      Bitset.clear u;
      for i = 0 to Array.length stage.circuits - 1 do
-       if Topo.usable topo stage.circuits.(i) && Bitset.mem u' stage.nexts.(i)
+       if
+         Topo.usable_wired topo stage.circuits.(i) stage.alt_hi.(i)
+         && Bitset.mem u' stage.nexts.(i)
        then Bitset.add u stage.prevs.(i)
      done;
      Array.iter

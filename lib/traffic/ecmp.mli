@@ -31,12 +31,24 @@ type compiled
 (** A demand class compiled against a universe topology. *)
 
 val compile :
-  Universe.t -> sources:(int * float) list -> hops:hop list -> compiled
+  ?alts:(int * int) list ->
+  Universe.t ->
+  sources:(int * float) list ->
+  hops:hop list ->
+  compiled
 (** [compile u ~sources ~hops] precomputes, for every hop, the circuits
     that volume starting at [sources] can possibly traverse, assuming every
     element of the universe could be active.  Compilation reads only the
     static structure, so it takes the shared {!Universe.t} directly.
-    [sources] pairs switch ids with injected volume (Tbps). *)
+    [sources] pairs switch ids with injected volume (Tbps).
+
+    [?alts] lists [(circuit, alt_hi)] wiring alternatives (OCS rewire
+    targets): each such circuit compiles an extra candidate row per
+    alternative endpoint, and evaluation admits a row only when the
+    overlay's current wiring matches it ({!Topo.usable_wired}) — so a
+    rewired circuit routes through its new endpoint with no
+    recompilation.  Duplicate pairs are ignored; with [alts = []]
+    (default) the compilation is exactly the historical one. *)
 
 val source_volume : compiled -> float
 (** Total volume injected by the compiled class. *)
@@ -58,7 +70,11 @@ val iter_candidates :
     The evaluation result depends only on the {e usability} of these
     circuits, which is what makes a block→demand dependency index sound:
     a topology toggle that touches none of a class's candidates (nor
-    their endpoints) cannot change the class's flow. *)
+    their endpoints) cannot change the class's flow.  A circuit compiled
+    with wiring alternatives is emitted once per row — under its
+    as-built endpoints and once per alternative — so dependency indexes
+    built from this enumeration cover every wiring the circuit can
+    take. *)
 
 type scratch
 (** Reusable working memory for evaluations (per-switch volumes,

@@ -69,6 +69,6 @@ let sources_for ~rsws_by_dc ~ebbs (d : Demand.t) =
   | Demand.Rsws_except_dc _ ->
       invalid_arg "Routes.sources_for: aggregate endpoint cannot be a source"
 
-let compile u ~rsws_by_dc ~ebbs d =
-  Ecmp.compile u ~sources:(sources_for ~rsws_by_dc ~ebbs d)
+let compile ?alts u ~rsws_by_dc ~ebbs d =
+  Ecmp.compile ?alts u ~sources:(sources_for ~rsws_by_dc ~ebbs d)
     ~hops:(hops_for d)

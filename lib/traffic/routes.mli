@@ -18,7 +18,9 @@ val sources_for :
     over the member switches of the source endpoint. *)
 
 val compile :
+  ?alts:(int * int) list ->
   Universe.t -> rsws_by_dc:int list array -> ebbs:int list -> Demand.t ->
   Ecmp.compiled
 (** [compile u ~rsws_by_dc ~ebbs d] = [Ecmp.compile] of {!sources_for}
-    and {!hops_for}. *)
+    and {!hops_for}.  [?alts] passes wiring alternatives through (OCS
+    rewire targets; see {!Ecmp.compile}). *)

@@ -5,7 +5,20 @@ let lookup_hash key = Hashtbl.hash key
 let is_origin p = p = (0, 0)
 let as_predicate = ( = )
 
+(* An action-alphabet-shaped variant: a constructor carrying a record
+   payload, compared polymorphically — the shape R1 exists to keep out
+   of the planner's ordering semantics. *)
+type op = Drain | Undrain | Rewire of { sel : string; hi : int }
+
+let is_rewire_to o = o = Rewire { sel = "eb0-uplinks"; hi = 36 }
+let dedup_ops ops = List.sort_uniq compare ops
+
 (* Not findings: a dedicated comparator, and a labelled-argument pun
    that passes the local [compare] rather than [Stdlib.compare]. *)
 let fine xs = List.sort Int.compare xs
 let pun ~compare = Sorted.create ~compare
+
+(* Not a finding: the hand-written rank comparator the real alphabet
+   uses instead. *)
+let rank = function Drain -> 0 | Undrain -> 1 | Rewire _ -> 2
+let compare_op a b = Int.compare (rank a) (rank b)

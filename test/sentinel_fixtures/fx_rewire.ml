@@ -1,0 +1,23 @@
+(* Effect-style dispatch over an action alphabet (the Rewire op carries
+   a record payload): the S1 closure must follow the match arms — the
+   racy write hides inside one constructor case of the dispatch, not at
+   the worker entry point [apply]. *)
+
+type op = Drain | Undrain | Rewire of { sel : string; hi : int }
+
+let rewires = ref 0
+
+let flips = Atomic.make 0
+
+let apply_effect = function
+  | Drain | Undrain -> ()
+  | Rewire _ -> incr rewires
+
+(* Clean: the same dispatch through an atomic counter. *)
+let apply_guarded = function
+  | Drain | Undrain -> ()
+  | Rewire { hi; _ } -> if hi >= 0 then Atomic.incr flips
+
+let apply ops =
+  List.iter apply_effect ops;
+  List.iter apply_guarded ops

@@ -14,7 +14,12 @@ let test_action_strings () =
        (Action.make Action.Undrain (Action.Switch_layer (Switch.SSW, 2))));
   Alcotest.(check string) "circuit group" "drain circuits FAUU-EB"
     (Action.to_string
-       (Action.make Action.Drain (Action.Circuit_group "FAUU-EB")))
+       (Action.make Action.Drain (Action.Circuit_group "FAUU-EB")));
+  Alcotest.(check string) "rewire" "rewire(eb0-uplinks->36) circuits eb0-uplinks"
+    (Action.to_string
+       (Action.make
+          (Action.Rewire { circuit_sel = "eb0-uplinks"; new_hi = 36 })
+          (Action.Circuit_group "eb0-uplinks")))
 
 let test_action_set () =
   let a = Action.make Action.Drain (Action.Hgrid_layer (1, 0)) in
@@ -31,6 +36,50 @@ let test_action_set () =
      with
     | exception Not_found -> true
     | _ -> false)
+
+let test_action_of_string () =
+  Alcotest.(check bool) "drain" true (Action.of_string "drain" = Some Action.Drain);
+  Alcotest.(check bool) "undrain" true
+    (Action.of_string "undrain" = Some Action.Undrain);
+  Alcotest.(check bool) "rewire" true
+    (Action.of_string "rewire(eb0-uplinks->36)"
+    = Some (Action.Rewire { circuit_sel = "eb0-uplinks"; new_hi = 36 }));
+  (* The selector may itself contain "->": the last arrow wins. *)
+  Alcotest.(check bool) "arrow in selector" true
+    (Action.of_string "rewire(a->b->7)"
+    = Some (Action.Rewire { circuit_sel = "a->b"; new_hi = 7 }));
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (Printf.sprintf "%S rejected" s) true
+        (Action.of_string s = None))
+    [
+      ""; "Drain"; "rewire"; "rewire()"; "rewire(x)"; "rewire(x->)";
+      "rewire(x->y)"; "rewire(x->-3)"; "rewire(x->3";
+      "drain "; "decommission";
+    ]
+
+(* Property: of_string inverts op_to_string over the whole alphabet,
+   including rewire payloads with arbitrary printable selectors. *)
+let prop_op_string_roundtrip =
+  let op_gen =
+    QCheck.Gen.(
+      frequency
+        [
+          (1, return Action.Drain);
+          (1, return Action.Undrain);
+          ( 3,
+            map2
+              (fun sel hi -> Action.Rewire { circuit_sel = sel; new_hi = hi })
+              (string_size ~gen:printable (int_range 0 16))
+              (int_bound 100_000) );
+        ])
+  in
+  let arb =
+    QCheck.make ~print:Action.op_to_string op_gen
+  in
+  QCheck.Test.make ~count:500 ~name:"of_string (op_to_string op) = Some op"
+    arb
+    (fun op -> Action.of_string (Action.op_to_string op) = Some op)
 
 (* ---------------------------------------------------------------- *)
 (* Blocks *)
@@ -251,6 +300,8 @@ let suite =
   ( "migration",
     [
       Alcotest.test_case "action strings" `Quick test_action_strings;
+      Alcotest.test_case "action of_string" `Quick test_action_of_string;
+      QCheck_alcotest.to_alcotest prop_op_string_roundtrip;
       Alcotest.test_case "action sets" `Quick test_action_set;
       Alcotest.test_case "blocks partition scenarios" `Slow
         test_organize_partition;

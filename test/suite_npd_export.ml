@@ -45,6 +45,74 @@ let test_roundtrip () =
             summary.Npd_export.state)
         reference phases
 
+(* The enlarged alphabet: a Rewire plan must survive the same text round
+   trip, with the op parsed back out of every action string. *)
+let test_roundtrip_rewire () =
+  let task = Task.of_scenario (Gen.scenario_of_label "OCS-LITE") in
+  let plan =
+    match Astar.plan task with
+    | { Planner.outcome = Planner.Found p; _ } -> p
+    | _ -> Alcotest.fail "planning the OCS scenario failed"
+  in
+  let text = Npd_printer.to_string (Npd_export.plan_to_npd task plan) in
+  let doc =
+    match Npd_parser.parse_result text with
+    | Ok d -> d
+    | Error e -> Alcotest.fail e
+  in
+  match Npd_export.phases_of_npd doc with
+  | Error e -> Alcotest.fail e
+  | Ok phases ->
+      let reference = Klotski.phases task plan in
+      Alcotest.(check int) "phase count" (List.length reference)
+        (List.length phases);
+      List.iter2
+        (fun (ph : Klotski.phase) (summary : Npd_export.phase_summary) ->
+          Alcotest.(check string) "action"
+            (Action.to_string ph.Klotski.action)
+            summary.Npd_export.action;
+          Alcotest.(check string) "op round-trips"
+            (Action.op_to_string ph.Klotski.action.Action.op)
+            (Action.op_to_string summary.Npd_export.op))
+        reference phases;
+      Alcotest.(check bool) "plan contains a rewire phase" true
+        (List.exists
+           (fun (s : Npd_export.phase_summary) ->
+             match s.Npd_export.op with
+             | Action.Rewire _ -> true
+             | Action.Drain | Action.Undrain -> false)
+           phases)
+
+(* Golden fixture: the committed OCS-LITE plan document parses to the
+   pinned phases.  Guards the on-disk format, not just the round trip. *)
+let test_golden_fixture () =
+  let doc =
+    match Npd_parser.parse_file "npd_fixtures/ocs_plan.npd" with
+    | Ok d -> d
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check string) "document name" "plan:OCS-LITE/OCS Rewire"
+    doc.Npd_ast.doc_name;
+  match Npd_export.phases_of_npd doc with
+  | Error e -> Alcotest.fail e
+  | Ok phases ->
+      Alcotest.(check int) "three phases" 3 (List.length phases);
+      let ops =
+        List.map
+          (fun (s : Npd_export.phase_summary) ->
+            Action.op_to_string s.Npd_export.op)
+          phases
+      in
+      Alcotest.(check (list string)) "pinned ops"
+        [ "rewire(eb0-uplinks->36)"; "rewire(eb1-uplinks->37)"; "drain" ]
+        ops;
+      let final = List.nth phases 2 in
+      Alcotest.(check (array int)) "final state" [| 1; 1; 2 |]
+        final.Npd_export.state;
+      Alcotest.(check (list string)) "final blocks"
+        [ "drain eb/block0"; "drain eb/block1" ]
+        final.Npd_export.blocks
+
 let test_bad_documents () =
   (match
      Npd_export.phases_of_npd
@@ -55,20 +123,45 @@ let test_bad_documents () =
    with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "foreign section accepted");
+  (match
+     Npd_export.phases_of_npd
+       {
+         Npd_ast.doc_name = "x";
+         sections = [ { Npd_ast.name = "phase"; args = []; entries = [] } ];
+       }
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "phase without index accepted");
+  (* An op outside the alphabet must fail the parse, not degrade to
+     opaque text. *)
   match
     Npd_export.phases_of_npd
       {
         Npd_ast.doc_name = "x";
-        sections = [ { Npd_ast.name = "phase"; args = []; entries = [] } ];
+        sections =
+          [
+            {
+              Npd_ast.name = "phase";
+              args = [ ("index", Npd_ast.Int 1) ];
+              entries =
+                [
+                  Npd_ast.Field
+                    ("action", Npd_ast.String "decommission EB-g1");
+                  Npd_ast.Field ("state", Npd_ast.String "(1)");
+                ];
+            };
+          ];
       }
   with
   | Error _ -> ()
-  | Ok _ -> Alcotest.fail "phase without index accepted"
+  | Ok _ -> Alcotest.fail "unknown action op accepted"
 
 let suite =
   ( "npd_export",
     [
       Alcotest.test_case "document shape" `Quick test_document_shape;
       Alcotest.test_case "round trip" `Quick test_roundtrip;
+      Alcotest.test_case "rewire round trip" `Quick test_roundtrip_rewire;
+      Alcotest.test_case "golden OCS plan fixture" `Quick test_golden_fixture;
       Alcotest.test_case "bad documents rejected" `Quick test_bad_documents;
     ] )

@@ -52,13 +52,18 @@ let overlay_fingerprint t =
   done;
   for j = 0 to Topo.n_circuits t - 1 do
     Buffer.add_char buf (if Topo.circuit_active t j then 'C' else 'c');
-    Buffer.add_char buf (if Topo.usable t j then 'U' else 'u')
+    Buffer.add_char buf (if Topo.usable t j then 'U' else 'u');
+    if Topo.circuit_rewired t j then begin
+      Buffer.add_char buf '@';
+      Buffer.add_string buf (string_of_int (Topo.endpoint_hi t j))
+    end
   done;
-  Printf.sprintf "%s|pv=%d|uc=%d|asw=%d|aci=%d" (Buffer.contents buf)
+  Printf.sprintf "%s|pv=%d|uc=%d|asw=%d|aci=%d|rw=%d" (Buffer.contents buf)
     (Topo.port_violation_count t)
     (Topo.usable_circuit_count t)
     (Topo.active_switch_count t)
     (Topo.active_circuit_count t)
+    (Topo.rewired_count t)
 
 (* Naive reference for [Constraint.move_to]: rebuild the overlay for a
    compact state from scratch by replaying the canonical block prefix of
@@ -69,17 +74,18 @@ let reference_topo (task : Task.t) (v : Compact.t) =
     (fun a blocks ->
       for j = 0 to v.(a) - 1 do
         let b = task.Task.blocks.(blocks.(j)) in
-        let active =
-          match b.Blocks.action.Action.op with
-          | Action.Drain -> false
-          | Action.Undrain -> true
-        in
-        Array.iter
-          (fun s -> Topo.set_switch_active topo s active)
-          b.Blocks.switches;
-        Array.iter
-          (fun c -> Topo.set_circuit_active topo c active)
-          b.Blocks.circuits
+        (match Action.applies b.Blocks.action with
+        | Action.Set_activity active ->
+            Array.iter
+              (fun s -> Topo.set_switch_active topo s active)
+              b.Blocks.switches;
+            Array.iter
+              (fun c -> Topo.set_circuit_active topo c active)
+              b.Blocks.circuits
+        | Action.Set_wiring target ->
+            Array.iter
+              (fun c -> Topo.set_circuit_hi topo c target)
+              b.Blocks.circuits)
       done)
     task.Task.blocks_by_type;
   topo
@@ -142,14 +148,66 @@ let test_snapshot_restore () =
     (overlay_fingerprint other)
 
 (* ------------------------------------------------------------------ *)
+(* Snapshot/restore x endpoint remap: restoring a snapshot taken before
+   a rewire must drop it (back to as-built wiring), and restoring one
+   taken after must reproduce the exact remap — the wiring plane obeys
+   the same overwrite semantics as the Bitset.blit activity planes. *)
+
+let test_snapshot_restore_rewire () =
+  let sc = Gen.scenario_of_label "OCS-LITE" in
+  let topo = Topo.copy sc.Gen.topo in
+  let groups = sc.Gen.rewire_groups in
+  Alcotest.(check bool) "scenario has two rewire groups" true
+    (List.length groups >= 2);
+  let _, g0, hi0 = List.nth groups 0 in
+  let _, g1, hi1 = List.nth groups 1 in
+  let fp0 = overlay_fingerprint topo in
+  let snap0 = Topo.snapshot topo in
+  List.iter (fun j -> Topo.set_circuit_hi topo j (Some hi0)) g0;
+  List.iter
+    (fun j ->
+      Alcotest.(check bool) "circuit marked rewired" true
+        (Topo.circuit_rewired topo j);
+      Alcotest.(check int) "endpoint reports the new wiring" hi0
+        (Topo.endpoint_hi topo j))
+    g0;
+  let fp1 = overlay_fingerprint topo in
+  let snap1 = Topo.snapshot topo in
+  List.iter (fun j -> Topo.set_circuit_hi topo j (Some hi1)) g1;
+  (* Rewind to the mid state: group 0 rewired, group 1 back as-built. *)
+  Topo.restore topo snap1;
+  Alcotest.(check string) "restore reproduces the remap" fp1
+    (overlay_fingerprint topo);
+  List.iter
+    (fun j ->
+      Alcotest.(check bool) "post-snapshot rewire dropped" false
+        (Topo.circuit_rewired topo j))
+    g1;
+  (* All the way back: every remap entry dropped. *)
+  Topo.restore topo snap0;
+  Alcotest.(check string) "restore drops every remap" fp0
+    (overlay_fingerprint topo);
+  Alcotest.(check int) "rewired_count back to zero" 0 (Topo.rewired_count topo);
+  (* A snapshot carrying remaps restores into a sibling overlay. *)
+  let other = Topo.copy sc.Gen.topo in
+  Topo.restore other snap1;
+  Alcotest.(check string) "sibling restore carries the remap" fp1
+    (overlay_fingerprint other);
+  (* Explicit un-rewire is equivalent to never having rewired. *)
+  List.iter (fun j -> Topo.set_circuit_hi topo j (Some hi0)) g0;
+  List.iter (fun j -> Topo.set_circuit_hi topo j None) g0;
+  Alcotest.(check string) "set_circuit_hi None returns to as-built" fp0
+    (overlay_fingerprint topo)
+
+(* ------------------------------------------------------------------ *)
 (* move_to vs naive replay: after any sequence of jumps across the
    compact lattice — forward steps and random rewinds — the checker's
-   overlay must equal the from-scratch replay of the target state. *)
+   overlay must equal the from-scratch replay of the target state.
+   The OCS task exercises the wiring plane through the same path. *)
 
 let test_move_to_matches_replay () =
   List.iter
-    (fun seed ->
-      let task = random_task seed in
+    (fun (seed, task) ->
       let ck = Constraint.create task in
       let counts = task.Task.counts in
       let n_types = Array.length counts in
@@ -177,7 +235,11 @@ let test_move_to_matches_replay () =
           (overlay_fingerprint (reference_topo task next))
           (overlay_fingerprint (Constraint.overlay ck))
       done)
-    [ 2; 6 ]
+    [
+      (2, random_task 2);
+      (6, random_task 6);
+      (11, Task.of_scenario (Gen.scenario_of_label "OCS-LITE"));
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Eager vs lazy checker creation is unobservable: verdicts and
@@ -317,6 +379,10 @@ let test_counters_random () =
 let test_counters_label_a () =
   check_counters "topology A" (Task.of_scenario (Gen.scenario_of_label "A"))
 
+let test_counters_ocs () =
+  check_counters "topology OCS-LITE"
+    (Task.of_scenario (Gen.scenario_of_label "OCS-LITE"))
+
 (* ------------------------------------------------------------------ *)
 (* Engine check counter: after a batch drains, checks_performed equals
    the cache misses (each miss is exactly one full evaluation), and a
@@ -356,6 +422,8 @@ let suite =
         test_universe_shared;
       Alcotest.test_case "snapshot/restore round trip" `Quick
         test_snapshot_restore;
+      Alcotest.test_case "snapshot/restore drops post-snapshot rewires"
+        `Quick test_snapshot_restore_rewire;
       Alcotest.test_case "move_to matches naive replay" `Quick
         test_move_to_matches_replay;
       Alcotest.test_case "eager creation unobservable" `Quick
@@ -365,6 +433,8 @@ let suite =
         test_counters_random;
       Alcotest.test_case "cache counters pinned (topology A)" `Quick
         test_counters_label_a;
+      Alcotest.test_case "cache counters pinned (topology OCS-LITE)" `Quick
+        test_counters_ocs;
       Alcotest.test_case "engine counter consistent" `Quick
         test_engine_counter;
     ] )

@@ -183,6 +183,68 @@ let test_unsupported_on_dmag () =
       | Error e -> Alcotest.fail e)
   | _ -> Alcotest.fail "Klotski should plan DMAG"
 
+let test_ocs_alphabet () =
+  (* The OCS rewire scenario is reachable only through the enlarged
+     alphabet: planners without wiring semantics must refuse it, the
+     optimal planners must solve it with audited plans containing
+     rewire phases — and the drain/undrain-only expression of the same
+     target (the swap variant) must be provably infeasible. *)
+  let task = Task.of_scenario (Gen.scenario_of_label "OCS-LITE") in
+  Alcotest.(check bool) "task carries a wiring action" true
+    (Task.affects_wiring task);
+  (match (Mrc.plan ~config:cfg task).Planner.outcome with
+  | Planner.Unsupported _ -> ()
+  | _ -> Alcotest.fail "MRC accepted a wiring-changing migration");
+  (match (Janus.plan ~config:cfg task).Planner.outcome with
+  | Planner.Unsupported _ -> ()
+  | _ -> Alcotest.fail "Janus accepted a wiring-changing migration");
+  List.iter
+    (fun (name, outcome) ->
+      match outcome with
+      | Planner.Found p -> (
+          (match Plan.validate task p with
+          | Ok () -> ()
+          | Error e -> Alcotest.fail (name ^ ": " ^ e));
+          let phases = Klotski.phases task p in
+          let rewires =
+            List.filter
+              (fun (ph : Klotski.phase) ->
+                Action.affects_wiring ph.Klotski.action)
+              phases
+          in
+          Alcotest.(check int) (name ^ ": one phase per rewire group") 2
+            (List.length rewires);
+          (* Forced ordering: both uplink banks must be rewired away
+             before the old EBs drain. *)
+          let drain_index =
+            let rec go i = function
+              | [] -> Alcotest.fail (name ^ ": no drain phase")
+              | ph :: rest ->
+                  if Action.affects_wiring ph.Klotski.action then go (i + 1) rest
+                  else i
+            in
+            go 0 phases
+          in
+          Alcotest.(check int) (name ^ ": rewires precede the drain") 2
+            drain_index)
+      | _ -> Alcotest.fail (name ^ " failed to plan the OCS rewire"))
+    [
+      ("A*", (Astar.plan ~config:cfg task).Planner.outcome);
+      ("DP", (Dp.plan ~config:cfg task).Planner.outcome);
+    ];
+  let swap = Task.of_scenario (Gen.scenario_of_label "OCS-SWAP-LITE") in
+  Alcotest.(check bool) "swap task has no wiring action" false
+    (Task.affects_wiring swap);
+  List.iter
+    (fun (name, outcome) ->
+      match outcome with
+      | Planner.Infeasible -> ()
+      | _ -> Alcotest.fail (name ^ " did not prove the swap infeasible"))
+    [
+      ("A*", (Astar.plan ~config:cfg swap).Planner.outcome);
+      ("DP", (Dp.plan ~config:cfg swap).Planner.outcome);
+    ]
+
 let test_forklift_planning () =
   let task = Task.of_scenario (Gen.build Gen.Ssw_forklift (Gen.params_a ())) in
   match (Astar.plan ~config:cfg task).Planner.outcome with
@@ -314,6 +376,7 @@ let suite =
       Alcotest.test_case "infeasibility detection" `Quick
         test_infeasible_detection;
       Alcotest.test_case "baselines refuse DMAG" `Quick test_unsupported_on_dmag;
+      Alcotest.test_case "OCS alphabet end to end" `Quick test_ocs_alphabet;
       Alcotest.test_case "forklift planning" `Quick test_forklift_planning;
       Alcotest.test_case "timeout reporting" `Quick test_timeout_reported;
       Alcotest.test_case "A* expands no more than DP" `Quick

@@ -19,7 +19,7 @@ let fixture_dir = Filename.concat "test" "sentinel_fixtures"
 
 let config =
   {
-    Sentinel.s1_roots = [ "Fx_engine.check"; "Fx_pool.map" ];
+    Sentinel.s1_roots = [ "Fx_engine.check"; "Fx_pool.map"; "Fx_rewire.apply" ];
     s3_roots = [ "Fx_cache.key_of" ];
     source_roots = [ fixture_dir ];
   }
@@ -59,6 +59,7 @@ let fixtures =
     "fx_float.ml";
     "fx_cache.ml";
     "fx_dead.ml";
+    "fx_rewire.ml";
   ]
 
 (* A typo'd root would silently empty the closure; the analyzer reports
